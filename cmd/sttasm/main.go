@@ -1,0 +1,145 @@
+// Command sttasm assembles, disassembles, and runs ARMlet programs.
+//
+// Usage:
+//
+//	sttasm build  <prog.sasm> [-o prog.bin]   assemble to binary image
+//	sttasm dis    <prog.bin>                  disassemble a binary image
+//	sttasm run    <prog.sasm|prog.bin> [-r N] run (functional), print regs r0..rN
+//	sttasm check  <prog.sasm>                 parse + validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sttdl1/internal/asm"
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/isa"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "dis":
+		err = cmdDis(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttasm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sttasm build <prog.sasm> [-o out.bin]
+  sttasm dis   <prog.bin>
+  sttasm run   <prog.sasm|prog.bin> [-r N]
+  sttasm check <prog.sasm>`)
+}
+
+func load(path string) (*isa.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".bin") {
+		return isa.DecodeProgram(src)
+	}
+	return asm.Assemble(path, string(src))
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default: input with .bin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("build: need one source file")
+	}
+	prog, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	img, err := isa.EncodeProgram(prog)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(fs.Arg(0), ".sasm") + ".bin"
+	}
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions, %d bytes\n", path, len(prog.Insts), len(img))
+	return nil
+}
+
+func cmdDis(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("dis: need one binary file")
+	}
+	prog, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Disassemble())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	nregs := fs.Int("r", 8, "print integer registers r0..r<N-1>")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need one program file")
+	}
+	prog, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := cpu.Interpret(prog, 100_000_000)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < *nregs && r < isa.NumIntRegs; r++ {
+		fmt.Printf("r%-2d = %-12d", r, st.R[r])
+		if (r+1)%4 == 0 {
+			fmt.Println()
+		}
+	}
+	if *nregs%4 != 0 {
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("check: need one source file")
+	}
+	prog, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: OK (%d instructions, data %d bytes)\n", args[0], len(prog.Insts), prog.DataSize)
+	return nil
+}

@@ -1,0 +1,211 @@
+// Command sttexplore runs the paper-reproduction experiments: every
+// table and figure of "System level exploration of a STT-MRAM based
+// Level 1 Data-Cache" (DATE 2015), plus the extension ablations.
+//
+// Usage:
+//
+//	sttexplore list
+//	sttexplore run [-bench name,name] [-v] <id>|all|paper
+//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-v] <kernel>
+//
+// Examples:
+//
+//	sttexplore run fig1          # the drop-in motivation experiment
+//	sttexplore run paper         # Table I + Figs. 1,3-9
+//	sttexplore run all           # paper artifacts + ablations
+//	sttexplore bench -cfg vwb -opt gemm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/experiments"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sttexplore: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sttexplore list
+  sttexplore run [-bench a,b,...] [-v] [-csv] <id>|all|paper
+  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] <kernel>`)
+}
+
+func cmdList() error {
+	fmt.Println("experiments:")
+	for _, r := range experiments.Registry() {
+		tag := "ext  "
+		if r.Paper {
+			tag = "paper"
+		}
+		fmt.Printf("  %-20s [%s] %s\n", r.ID, tag, r.Desc)
+	}
+	fmt.Println("\nbenchmarks:")
+	for _, b := range polybench.All() {
+		fmt.Printf("  %-10s n=%-4d %s\n", b.Name, b.Default, b.Desc)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	benchList := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
+	verbose := fs.Bool("v", false, "log each simulation")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need exactly one experiment id (or 'all'/'paper'); see 'sttexplore list'")
+	}
+
+	benches, err := selectBenches(*benchList)
+	if err != nil {
+		return err
+	}
+	suite := experiments.NewSuite(benches)
+	if *verbose {
+		suite.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	id := fs.Arg(0)
+	var runners []experiments.Runner
+	switch id {
+	case "all":
+		runners = experiments.Registry()
+	case "paper":
+		for _, r := range experiments.Registry() {
+			if r.Paper {
+				runners = append(runners, r)
+			}
+		}
+	default:
+		r, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; known: %s", id, strings.Join(experiments.IDs(), ", "))
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		res, err := r.Run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", r.ID, res.CSV())
+		} else {
+			fmt.Println(res.String())
+		}
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	cfgName := fs.String("cfg", "vwb", "configuration: sram, dropin, vwb, l0, emshr")
+	opt := fs.Bool("opt", false, "apply all code transformations")
+	size := fs.Int("n", 0, "problem size override (0 = benchmark default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bench: need exactly one kernel name; see 'sttexplore list'")
+	}
+	b, ok := polybench.ByName(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q; known: %s", fs.Arg(0), strings.Join(polybench.Names(), ", "))
+	}
+
+	var cfg sim.Config
+	switch *cfgName {
+	case "sram":
+		cfg = sim.BaselineSRAM()
+	case "dropin":
+		cfg = sim.DropInSTT()
+	case "vwb":
+		cfg = sim.ProposalVWB()
+	case "l0":
+		cfg = sim.ProposalVWB()
+		cfg.FrontEnd = sim.FEL0
+		cfg.Name = "stt-l0"
+	case "emshr":
+		cfg = sim.ProposalVWB()
+		cfg.FrontEnd = sim.FEEMSHR
+		cfg.Name = "stt-emshr"
+	default:
+		return fmt.Errorf("unknown configuration %q", *cfgName)
+	}
+	if *opt {
+		cfg.Compile = compile.AllOptimizations()
+	}
+
+	n := b.Default
+	if *size > 0 {
+		n = *size
+	}
+	res, err := sim.Run(b.Build(n), cfg)
+	if err != nil {
+		return err
+	}
+	c := res.CPU
+	fmt.Printf("%s (n=%d) on %s\n", b.Name, n, cfg.Name)
+	fmt.Printf("  cycles       %12d   instructions %12d   IPC %.3f\n", c.Cycles, c.Insts, c.IPC())
+	fmt.Printf("  loads        %12d   stores       %12d   prefetches %d\n", c.Loads, c.Stores, c.Prefetches)
+	fmt.Printf("  branches     %12d   mispredicts  %12d\n", c.Branches, c.Mispredicts)
+	fmt.Printf("  stalls: read %d  write %d  branch %d  fetch %d\n",
+		c.ReadStallCycles, c.WriteStallCycles, c.BranchStallCycles, c.FetchStallCycles)
+	fmt.Printf("  front-end:   reads %d/%d hits, writes %d/%d hits\n",
+		res.FEStats.ReadHits, res.FEStats.Reads, res.FEStats.WriteHits, res.FEStats.Writes)
+	fmt.Printf("  DL1:         %d accesses, %.1f%% hits, bank-conflict cycles %d\n",
+		res.DL1Stats.Accesses(), 100*res.DL1Stats.HitRate(), res.DL1BankConflictCycles)
+	fmt.Printf("  L2:          %d accesses, %.1f%% hits\n", res.L2Stats.Accesses(), 100*res.L2Stats.HitRate())
+	return nil
+}
+
+func selectBenches(list string) ([]polybench.Bench, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []polybench.Bench
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := polybench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q; known: %s", name, strings.Join(polybench.Names(), ", "))
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+// Command stttrace runs a PolyBench kernel with a trace recorder wired
+// between the core and the DL1 front-end, then prints a trace summary
+// (and optionally the first events) — useful for understanding the
+// access streams each kernel presents to the VWB.
+//
+// Usage:
+//
+//	stttrace [-cfg sram|dropin|vwb] [-opt] [-n size] [-dump N] <kernel>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+	"sttdl1/internal/trace"
+)
+
+func main() {
+	fs := flag.NewFlagSet("stttrace", flag.ExitOnError)
+	cfgName := fs.String("cfg", "vwb", "configuration: sram, dropin, vwb")
+	opt := fs.Bool("opt", false, "apply all code transformations")
+	size := fs.Int("n", 0, "problem size override")
+	dump := fs.Int("dump", 0, "print the first N trace events")
+	limit := fs.Int("limit", 2_000_000, "max recorded events")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stttrace [-cfg ...] [-opt] [-n N] [-dump N] <kernel>")
+		os.Exit(2)
+	}
+	if err := run(fs.Arg(0), *cfgName, *opt, *size, *dump, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "stttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, cfgName string, opt bool, size, dump, limit int) error {
+	b, ok := polybench.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q; known: %s", bench, strings.Join(polybench.Names(), ", "))
+	}
+	var cfg sim.Config
+	switch cfgName {
+	case "sram":
+		cfg = sim.BaselineSRAM()
+	case "dropin":
+		cfg = sim.DropInSTT()
+	case "vwb":
+		cfg = sim.ProposalVWB()
+	default:
+		return fmt.Errorf("unknown configuration %q", cfgName)
+	}
+	if opt {
+		cfg.Compile = compile.AllOptimizations()
+	}
+	cfg.ColdStart = true // tracing wants the raw single pass
+
+	n := b.Default
+	if size > 0 {
+		n = size
+	}
+	opts := cfg.Compile
+	opts.LineSize = 64
+	ck, err := compile.Compile(b.Build(n), opts)
+	if err != nil {
+		return err
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(sys.FE, limit)
+	sys.CPU.DMem = rec
+
+	res, err := sys.RunCompiled(ck)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (n=%d) on %s: %d cycles, %d instructions\n\n", b.Name, n, cfg.Name, res.CPU.Cycles, res.CPU.Insts)
+	fmt.Print(trace.Summarize(rec.Events, 64).String())
+	if rec.Dropped > 0 {
+		fmt.Printf("(dropped %d events beyond -limit)\n", rec.Dropped)
+	}
+	if dump > 0 {
+		fmt.Println("\nfirst events:")
+		fmt.Print(trace.Dump(rec.Events, dump))
+	}
+	return nil
+}

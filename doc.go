@@ -1,0 +1,13 @@
+// Package sttdl1 is a from-scratch Go reproduction of "System level
+// exploration of a STT-MRAM based Level 1 Data-Cache" (Komalan et al.,
+// DATE 2015): a cycle-approximate ARM-like platform simulator with an
+// SRAM/STT-MRAM technology model, the paper's Very Wide Buffer DL1
+// front-end, a small vectorizing kernel compiler implementing the
+// paper's code transformations, and a PolyBench-subset workload suite.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The root package holds only documentation
+// and the benchmark harness (bench_test.go) that regenerates every table
+// and figure of the paper.
+package sttdl1

@@ -1,0 +1,62 @@
+// Quickstart: run one PolyBench kernel on the paper's three headline
+// configurations — SRAM baseline, drop-in STT-MRAM, and STT-MRAM with
+// the Very Wide Buffer — and print the performance penalty each NVM
+// configuration pays relative to the SRAM baseline, with and without the
+// paper's code transformations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+)
+
+func main() {
+	benchName := "gemm"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	b, ok := polybench.ByName(benchName)
+	if !ok {
+		log.Fatalf("unknown benchmark %q; have %v", benchName, polybench.Names())
+	}
+	kernel := b.Kernel()
+
+	configs := []sim.Config{
+		sim.BaselineSRAM(),
+		sim.DropInSTT(),
+		sim.ProposalVWB(),
+	}
+
+	fmt.Printf("kernel %s (%s)\n", b.Name, b.Desc)
+	for _, optimized := range []bool{false, true} {
+		var baseCycles int64
+		label := "no code transformations"
+		if optimized {
+			label = "vectorize+prefetch+branchless+align"
+		}
+		fmt.Printf("\n-- %s --\n", label)
+		for _, cfg := range configs {
+			if optimized {
+				cfg.Compile = compile.AllOptimizations()
+			}
+			res, err := sim.Run(kernel, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			line := fmt.Sprintf("%-14s %12d cycles  IPC %.2f  DL1 hit %.1f%%",
+				cfg.Name, res.CPU.Cycles, res.CPU.IPC(), 100*res.DL1Stats.HitRate())
+			if cfg.FrontEnd == sim.FEDirect && cfg.DL1Cell == sim.BaselineSRAM().DL1Cell {
+				baseCycles = res.CPU.Cycles
+			} else if baseCycles > 0 {
+				pen := 100 * float64(res.CPU.Cycles-baseCycles) / float64(baseCycles)
+				line += fmt.Sprintf("  penalty %+.1f%%", pen)
+			}
+			fmt.Println(line)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// VWB tuning: the paper's Fig. 7 exploration on a single kernel — sweep
+// the Very Wide Buffer capacity (and, beyond the paper, its replacement
+// policy and the NVM bank count) and print the penalty surface, showing
+// how the 2 Kbit design point is chosen.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/core"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+	"sttdl1/internal/stats"
+)
+
+func main() {
+	benchName := "gemm"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	b, ok := polybench.ByName(benchName)
+	if !ok {
+		log.Fatalf("unknown benchmark %q; have %v", benchName, polybench.Names())
+	}
+	kernel := b.Kernel()
+
+	base := sim.BaselineSRAM()
+	base.Compile = compile.AllOptimizations()
+	baseRes, err := sim.Run(kernel, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s, optimized SRAM baseline: %d cycles\n\n", b.Name, baseRes.CPU.Cycles)
+
+	fmt.Println("VWB size sweep (LRU, 4 banks):")
+	for _, bits := range []int{512, 1024, 2048, 4096, 8192} {
+		cfg := sim.ProposalVWB()
+		cfg.Compile = compile.AllOptimizations()
+		cfg.BufferBits = bits
+		res, err := sim.Run(kernel, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5d bits (%d rows): penalty %+6.1f%%\n",
+			bits, bits/512, stats.Penalty(baseRes.CPU.Cycles, res.CPU.Cycles))
+	}
+
+	fmt.Println("\nreplacement policy at 2 Kbit:")
+	for _, pol := range []core.EvictPolicy{core.EvictLRU, core.EvictFIFO} {
+		cfg := sim.ProposalVWB()
+		cfg.Compile = compile.AllOptimizations()
+		cfg.VWBPolicy = pol
+		res, err := sim.Run(kernel, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s: penalty %+6.1f%%\n", pol, stats.Penalty(baseRes.CPU.Cycles, res.CPU.Cycles))
+	}
+
+	fmt.Println("\nNVM bank count at 2 Kbit:")
+	for _, banks := range []int{1, 2, 4, 8} {
+		cfg := sim.ProposalVWB()
+		cfg.Compile = compile.AllOptimizations()
+		cfg.DL1Banks = banks
+		res, err := sim.Run(kernel, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d bank(s): penalty %+6.1f%%\n", banks, stats.Penalty(baseRes.CPU.Cycles, res.CPU.Cycles))
+	}
+}

@@ -1,0 +1,3 @@
+module sttdl1
+
+go 1.22

@@ -1,0 +1,392 @@
+// Package asm is a small text assembler for ARMlet programs (.sasm).
+//
+// The syntax is exactly what isa.Inst.String() prints, plus labels and
+// comments, so disassembled programs re-assemble byte-identically:
+//
+//	; compute r2 = r0 + r1, store at [r3]
+//	start:
+//	    add r2, r0, r1
+//	    str r2, [r3, #0]
+//	    beq r2, zr, done     ; labels may replace branch offsets
+//	    b start
+//	done:
+//	    halt
+//
+// Registers: r0..r31 (aliases zr, sp, lr), f0..f31, v0..v15.
+// Immediates: #123, #-4, #0x1f; FMOVI also accepts #1.5 style floats.
+// Branch targets: a label, or a relative offset like +3 / -2.
+//
+// Directives:
+//
+//	.data N   ; size of the zero-initialized data segment in bytes
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sttdl1/internal/isa"
+)
+
+// SyntaxError describes a parse failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type pending struct {
+	line  int
+	inst  isa.Inst
+	label string // non-empty when imm is a label reference
+}
+
+// Assemble parses source into a program.
+func Assemble(name, source string) (*isa.Program, error) {
+	labels := map[string]int{}
+	var insts []pending
+	dataSize := 0
+
+	for ln, raw := range strings.Split(source, "\n") {
+		lineNo := ln + 1
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		// Leading labels (possibly several on one line).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			lbl := strings.TrimSpace(line[:i])
+			if !validLabel(lbl) {
+				return nil, &SyntaxError{lineNo, fmt.Sprintf("invalid label %q", lbl)}
+			}
+			if _, dup := labels[lbl]; dup {
+				return nil, &SyntaxError{lineNo, fmt.Sprintf("duplicate label %q", lbl)}
+			}
+			labels[lbl] = len(insts)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		if strings.HasPrefix(line, ".data") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".data")))
+			if err != nil || n < 0 {
+				return nil, &SyntaxError{lineNo, "bad .data size"}
+			}
+			dataSize = n
+			continue
+		}
+
+		p, err := parseInst(lineNo, line)
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, p)
+	}
+
+	prog := &isa.Program{Name: name, DataSize: dataSize, Insts: make([]isa.Inst, len(insts))}
+	for pc, p := range insts {
+		in := p.inst
+		if p.label != "" {
+			target, ok := labels[p.label]
+			if !ok {
+				return nil, &SyntaxError{p.line, fmt.Sprintf("undefined label %q", p.label)}
+			}
+			in.Imm = int32(target - (pc + 1))
+		}
+		prog.Insts[pc] = in
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	_, isOp := isa.OpByName(s)
+	return !isOp
+}
+
+func parseInst(lineNo int, line string) (pending, error) {
+	fail := func(format string, args ...any) (pending, error) {
+		return pending{}, &SyntaxError{lineNo, fmt.Sprintf(format, args...)}
+	}
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := isa.OpByName(strings.ToLower(mnemonic))
+	if !ok {
+		return fail("unknown mnemonic %q", mnemonic)
+	}
+	info := op.Info()
+	in := isa.Inst{Op: op}
+	p := pending{line: lineNo}
+
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return fail("%v", err)
+	}
+	need := operandCount(info.Fmt)
+	if len(ops) != need {
+		return fail("%s needs %d operand(s), got %d", op, need, len(ops))
+	}
+
+	reg := func(s string, class isa.RegClass) (isa.Reg, error) {
+		return parseReg(s, class)
+	}
+
+	switch info.Fmt {
+	case isa.FmtNone:
+	case isa.FmtRRR:
+		if in.Rd, err = reg(ops[0], info.DstClass); err == nil {
+			if in.Ra, err = reg(ops[1], info.SrcAClass); err == nil {
+				in.Rb, err = reg(ops[2], info.SrcBClass)
+			}
+		}
+	case isa.FmtRR:
+		if in.Rd, err = reg(ops[0], info.DstClass); err == nil {
+			in.Ra, err = reg(ops[1], info.SrcAClass)
+		}
+	case isa.FmtRRI:
+		if in.Rd, err = reg(ops[0], info.DstClass); err == nil {
+			if in.Ra, err = reg(ops[1], info.SrcAClass); err == nil {
+				in.Imm, err = parseImm(ops[2], false)
+			}
+		}
+	case isa.FmtRI:
+		if in.Rd, err = reg(ops[0], info.DstClass); err == nil {
+			in.Imm, err = parseImm(ops[1], op == isa.OpFMOVI)
+		}
+	case isa.FmtMem:
+		if in.Rd, err = reg(ops[0], info.DstClass); err == nil {
+			in.Ra, in.Imm, err = parseMemOperand(ops[1])
+		}
+	case isa.FmtMemX:
+		if in.Rd, err = reg(ops[0], info.DstClass); err == nil {
+			in.Ra, in.Rb, in.Imm, err = parseMemXOperand(ops[1])
+		}
+	case isa.FmtPLD:
+		in.Ra, in.Imm, err = parseMemOperand(ops[0])
+	case isa.FmtBr:
+		p.label, in.Imm, err = parseTarget(ops[0])
+	case isa.FmtBrCmp:
+		if in.Ra, err = reg(ops[0], isa.RCInt); err == nil {
+			if in.Rb, err = reg(ops[1], isa.RCInt); err == nil {
+				p.label, in.Imm, err = parseTarget(ops[2])
+			}
+		}
+	case isa.FmtJmpReg:
+		in.Ra, err = reg(ops[0], isa.RCInt)
+	default:
+		return fail("unhandled format for %s", op)
+	}
+	if err != nil {
+		return fail("%s: %v", op, err)
+	}
+	p.inst = in
+	return p, nil
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ']'")
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '['")
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+func operandCount(f isa.Fmt) int {
+	switch f {
+	case isa.FmtNone:
+		return 0
+	case isa.FmtPLD, isa.FmtBr, isa.FmtJmpReg:
+		return 1
+	case isa.FmtRR, isa.FmtRI, isa.FmtMem, isa.FmtMemX:
+		return 2
+	default: // FmtRRR, FmtRRI, FmtBrCmp
+		return 3
+	}
+}
+
+func parseReg(s string, class isa.RegClass) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch class {
+	case isa.RCInt:
+		switch s {
+		case "zr":
+			return isa.ZR, nil
+		case "sp":
+			return isa.SP, nil
+		case "lr":
+			return isa.LR, nil
+		}
+		return numberedReg(s, 'r', isa.NumIntRegs)
+	case isa.RCFP:
+		return numberedReg(s, 'f', isa.NumFPRegs)
+	case isa.RCVec:
+		return numberedReg(s, 'v', isa.NumVecRegs)
+	case isa.RCNone:
+		return 0, fmt.Errorf("unexpected operand %q", s)
+	}
+	return 0, fmt.Errorf("bad register class")
+}
+
+func numberedReg(s string, prefix byte, limit int) (isa.Reg, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("expected %c-register, got %q", prefix, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= limit {
+		return 0, fmt.Errorf("register %q out of range (max %c%d)", s, prefix, limit-1)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseImm(s string, float bool) (int32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("immediate must start with '#', got %q", s)
+	}
+	body := s[1:]
+	if float {
+		f, err := strconv.ParseFloat(body, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad float immediate %q", s)
+		}
+		return isa.BitsFromF32(float32(f)), nil
+	}
+	n, err := strconv.ParseInt(body, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if n < -1<<31 || n > 1<<31-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(n), nil
+}
+
+// parseMemOperand parses "[rN, #off]" (offset optional).
+func parseMemOperand(s string) (isa.Reg, int32, error) {
+	inner, err := bracketBody(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	parts := strings.Split(inner, ",")
+	base, err := parseReg(parts[0], isa.RCInt)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(parts) == 1 {
+		return base, 0, nil
+	}
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off, err := parseImm(strings.TrimSpace(parts[1]), false)
+	return base, off, err
+}
+
+// parseMemXOperand parses "[rN, rM, lsl #k]".
+func parseMemXOperand(s string) (isa.Reg, isa.Reg, int32, error) {
+	inner, err := bracketBody(s)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	parts := strings.Split(inner, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("indexed operand must be [rN, rM, lsl #k], got %q", s)
+	}
+	base, err := parseReg(parts[0], isa.RCInt)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	index, err := parseReg(parts[1], isa.RCInt)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sh := strings.TrimSpace(parts[2])
+	if !strings.HasPrefix(strings.ToLower(sh), "lsl") {
+		return 0, 0, 0, fmt.Errorf("expected 'lsl #k' in %q", s)
+	}
+	k, err := parseImm(strings.TrimSpace(sh[3:]), false)
+	if err != nil || k < 0 || k > 31 {
+		return 0, 0, 0, fmt.Errorf("bad shift in %q", s)
+	}
+	return base, index, k, nil
+}
+
+func bracketBody(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return "", fmt.Errorf("expected [...] operand, got %q", s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+// parseTarget parses a branch target: a relative offset (+3, -2, 0) or a
+// label name resolved later.
+func parseTarget(s string) (label string, imm int32, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, fmt.Errorf("missing branch target")
+	}
+	if s[0] == '+' || s[0] == '-' || (s[0] >= '0' && s[0] <= '9') {
+		n, perr := strconv.ParseInt(s, 10, 32)
+		if perr != nil {
+			return "", 0, fmt.Errorf("bad branch offset %q", s)
+		}
+		return "", int32(n), nil
+	}
+	if !validLabel(s) {
+		return "", 0, fmt.Errorf("bad branch target %q", s)
+	}
+	return s, 0, nil
+}

@@ -1,0 +1,281 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+		; comment-only line
+		.data 128
+		movi r1, #10
+		movi r2, #0x20      ; hex immediate
+		add  r3, r1, r2
+		halt
+	`)
+	if p.DataSize != 128 {
+		t.Errorf("data size = %d", p.DataSize)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("insts = %d", len(p.Insts))
+	}
+	st, err := cpu.Interpret(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R[3] != 42 {
+		t.Errorf("r3 = %d, want 42", st.R[3])
+	}
+}
+
+func TestLabels(t *testing.T) {
+	p := mustAssemble(t, `
+		movi r0, #0
+		movi r1, #5
+	loop:
+		addi r0, r0, #1
+		blt  r0, r1, loop
+		beq  r0, r1, done
+		movi r0, #99
+	done:
+		halt
+	`)
+	st, err := cpu.Interpret(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R[0] != 5 {
+		t.Errorf("r0 = %d, want 5", st.R[0])
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	p := mustAssemble(t, `
+		b skip
+		movi r1, #1
+	skip:
+		b end
+		movi r1, #2
+	end:
+		halt
+	`)
+	st, err := cpu.Interpret(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R[1] != 0 {
+		t.Errorf("r1 = %d, skipped code executed", st.R[1])
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+		.data 256
+		movi r1, #64
+		movi r2, #7
+		str  r2, [r1, #4]
+		ldr  r3, [r1, #4]
+		movi r4, #1
+		ldrx r5, [r1, r4, lsl #2]
+		fmovi f0, #2.5
+		fstr f0, [r1, #32]
+		fldr f1, [r1, #32]
+		vldr v0, [r1, #0]
+		pld  [r1, #64]
+		halt
+	`)
+	st, err := cpu.Interpret(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R[3] != 7 || st.R[5] != 7 {
+		t.Errorf("r3=%d r5=%d", st.R[3], st.R[5])
+	}
+	if st.F[1] != 2.5 {
+		t.Errorf("f1 = %g", st.F[1])
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAssemble(t, `
+		addi r1, zr, #3
+		addi r2, sp, #0
+		bl   callee
+		halt
+	callee:
+		jr lr
+	`)
+	if p.Insts[0].Ra != isa.ZR {
+		t.Error("zr alias")
+	}
+	if p.Insts[1].Ra != isa.SP {
+		t.Error("sp alias")
+	}
+	if _, err := cpu.Interpret(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeOffsets(t *testing.T) {
+	p := mustAssemble(t, `
+		b +1
+		movi r1, #9
+		halt
+	`)
+	st, err := cpu.Interpret(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R[1] != 0 {
+		t.Error("b +1 must skip the movi")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"frobnicate r1", "unknown mnemonic"},
+		{"add r1, r2", "needs 3 operand"},
+		{"add r1, r2, f3", "expected r-register"},
+		{"add r1, r2, r32", "out of range"},
+		{"movi r1, 5", "must start with '#'"},
+		{"movi r1, #zzz", "bad immediate"},
+		{"ldr r1, [r2", "unbalanced"},
+		{"ldr r1, r2", "expected [...]"},
+		{"b nowhere", "undefined label"},
+		{"x: x: halt", "duplicate label"},
+		{"1bad: halt", "invalid label"},
+		{".data -5", "bad .data"},
+		{"ldrx r1, [r2, r3, foo #2]", "expected 'lsl"},
+		{"beq r1, r2, ", "missing branch target"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("t", "halt\nhalt\nbogus r1\n")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err type %T", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+}
+
+func TestLabelCannotShadowMnemonic(t *testing.T) {
+	if _, err := Assemble("t", "add: halt"); err == nil {
+		t.Error("label named after a mnemonic must be rejected")
+	}
+}
+
+// TestDisassembleReassembleRoundTrip is the assembler's property test:
+// assembling the disassembly of random valid programs reproduces the
+// exact instruction stream.
+func TestDisassembleReassembleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		prog := &isa.Program{Name: "rt"}
+		n := 20 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			in := randomInst(r)
+			// Keep branch targets inside the program.
+			if in.Op.IsBranch() && in.Op != isa.OpJR && in.Op != isa.OpHALT {
+				lo, hi := -(i + 1), n-i // target in [0, n]
+				in.Imm = int32(lo + r.Intn(hi-lo+1))
+			}
+			prog.Insts = append(prog.Insts, in)
+		}
+		prog.Insts = append(prog.Insts, isa.Inst{Op: isa.OpHALT})
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("generated invalid program: %v", err)
+		}
+
+		var src strings.Builder
+		for _, in := range prog.Insts {
+			src.WriteString(in.String())
+			src.WriteByte('\n')
+		}
+		back, err := Assemble("rt", src.String())
+		if err != nil {
+			t.Fatalf("trial %d: reassemble failed: %v\n%s", trial, err, src.String())
+		}
+		if len(back.Insts) != len(prog.Insts) {
+			t.Fatalf("trial %d: %d insts, want %d", trial, len(back.Insts), len(prog.Insts))
+		}
+		for i := range prog.Insts {
+			a, b := prog.Insts[i], back.Insts[i]
+			if a.Op == isa.OpFMOVI {
+				// Float immediates round-trip through decimal text; compare
+				// the decoded float value instead of raw bits.
+				if isa.F32FromBits(a.Imm) != isa.F32FromBits(b.Imm) || a.Rd != b.Rd {
+					t.Fatalf("trial %d inst %d: %v != %v", trial, i, a, b)
+				}
+				continue
+			}
+			if a != b {
+				t.Fatalf("trial %d inst %d: %v != %v (%q)", trial, i, a, b, a.String())
+			}
+		}
+	}
+}
+
+// randomInst builds a random valid non-FMOVI-NaN instruction.
+func randomInst(r *rand.Rand) isa.Inst {
+	for {
+		op := isa.Opcode(1 + r.Intn(isa.NumOpcodes-1))
+		info := op.Info()
+		in := isa.Inst{Op: op}
+		pick := func(c isa.RegClass) isa.Reg {
+			switch c {
+			case isa.RCInt:
+				return isa.Reg(r.Intn(isa.NumIntRegs))
+			case isa.RCFP:
+				return isa.Reg(r.Intn(isa.NumFPRegs))
+			case isa.RCVec:
+				return isa.Reg(r.Intn(isa.NumVecRegs))
+			}
+			return 0
+		}
+		in.Rd, in.Ra, in.Rb = pick(info.DstClass), pick(info.SrcAClass), pick(info.SrcBClass)
+		switch info.Fmt {
+		case isa.FmtRI:
+			if op == isa.OpFMOVI {
+				in.Imm = isa.BitsFromF32(float32(r.Intn(1000)) / 8)
+			} else {
+				in.Imm = int32(r.Uint32())
+			}
+		case isa.FmtRRI, isa.FmtMem, isa.FmtPLD:
+			in.Imm = int32(r.Intn(4096) - 1024)
+		case isa.FmtMemX:
+			in.Imm = int32(r.Intn(5))
+		}
+		if in.Validate() == nil {
+			return in
+		}
+	}
+}

@@ -1,0 +1,475 @@
+// Package cache implements the set-associative, banked, write-back caches
+// used for the IL1, the (SRAM or STT-MRAM) DL1, and the unified L2 of the
+// simulated platform.
+//
+// The model is timing-only (tags, recency, dirtiness, busy-until state; no
+// data). Its distinguishing features, required by the paper:
+//
+//   - separate read and write latencies, so an STT-MRAM array can be
+//     modelled as read 4 / write 2 cycles against SRAM's 1 / 1;
+//   - a banked data array: one line promotion into the Very Wide Buffer
+//     occupies the source bank for the full read latency, and a
+//     concurrent access to the same bank stalls (paper §IV);
+//   - MSHRs, so software prefetches overlap with execution and demand
+//     accesses merge into in-flight misses;
+//   - a small eviction write buffer, "present to hold the evicted data
+//     temporarily while being transferred to the L2" (paper §IV).
+package cache
+
+import (
+	"fmt"
+
+	"sttdl1/internal/mem"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name     string
+	Size     int // total bytes
+	Assoc    int // ways
+	LineSize int // bytes
+	Banks    int // data-array banks (power of two)
+
+	ReadLat  int64 // array read latency, cycles
+	WriteLat int64 // array write latency, cycles
+
+	// ReadInterval/WriteInterval are the per-bank initiation intervals:
+	// how long a bank stays busy per access. 0 means non-pipelined
+	// (= the access latency), which is how the long STT-MRAM sense
+	// behaves; SRAM arrays at core clock are pipelined (interval 1).
+	ReadInterval  int64
+	WriteInterval int64
+
+	MSHRs         int // outstanding-miss registers
+	WriteBufDepth int // eviction write-buffer entries
+}
+
+// Validate checks structural parameters.
+func (c *Config) Validate() error {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache %s: size/assoc/line must be positive", c.Name)
+	case c.Size%(c.LineSize*c.Assoc) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by assoc*line %d", c.Name, c.Size, c.LineSize*c.Assoc)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	case c.Banks <= 0 || c.Banks&(c.Banks-1) != 0:
+		return fmt.Errorf("cache %s: banks %d not a positive power of two", c.Name, c.Banks)
+	case c.ReadLat <= 0 || c.WriteLat <= 0:
+		return fmt.Errorf("cache %s: latencies must be positive", c.Name)
+	case c.MSHRs <= 0:
+		return fmt.Errorf("cache %s: need at least one MSHR", c.Name)
+	}
+	sets := c.Size / (c.LineSize * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c *Config) Sets() int { return c.Size / (c.LineSize * c.Assoc) }
+
+type line struct {
+	tag     uint32
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+type mshr struct {
+	lineAddr mem.Addr
+	valid    bool
+	// ready is the cycle the fill completes; the entry frees then.
+	ready int64
+}
+
+type wbEntry struct {
+	// retire is the cycle at which the buffered eviction has drained to
+	// the next level and the slot frees.
+	retire int64
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg  Config
+	next mem.Port
+
+	sets     [][]line
+	bankFree []int64
+	mshrs    []mshr
+	wbuf     []wbEntry
+
+	useClock uint64
+	stats    mem.Stats
+
+	// Extra visibility counters.
+	BankConflictCycles int64
+	// ConflictByKind splits BankConflictCycles by request kind.
+	ConflictByKind  [6]int64
+	MSHRStallCycles int64
+	WBStallCycles   int64
+	Evictions       uint64
+	DirtyEvictions  uint64
+}
+
+// New builds a cache in front of next. It panics on an invalid Config:
+// configs are produced by our own code and a bad one means a programming
+// error, not a runtime condition.
+func New(cfg Config, next mem.Port) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if next == nil {
+		panic(fmt.Sprintf("cache %s: nil next level", cfg.Name))
+	}
+	if cfg.WriteBufDepth <= 0 {
+		cfg.WriteBufDepth = 4
+	}
+	if cfg.ReadInterval <= 0 {
+		cfg.ReadInterval = cfg.ReadLat
+	}
+	if cfg.WriteInterval <= 0 {
+		cfg.WriteInterval = cfg.WriteLat
+	}
+	c := &Cache{cfg: cfg, next: next}
+	c.sets = make([][]line, cfg.Sets())
+	backing := make([]line, cfg.Sets()*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	c.bankFree = make([]int64, cfg.Banks)
+	c.mshrs = make([]mshr, cfg.MSHRs)
+	c.wbuf = make([]wbEntry, cfg.WriteBufDepth)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the demand/prefetch counters.
+func (c *Cache) Stats() mem.Stats { return c.stats }
+
+func (c *Cache) indexOf(addr mem.Addr) (set int, tag uint32) {
+	l := addr / mem.Addr(c.cfg.LineSize)
+	return int(l) & (c.cfg.Sets() - 1), uint32(l) >> uint(log2(c.cfg.Sets()))
+}
+
+func (c *Cache) bankOf(addr mem.Addr) int {
+	return int(addr/mem.Addr(c.cfg.LineSize)) & (c.cfg.Banks - 1)
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}
+
+// lookup returns the way holding addr's line, or -1.
+func (c *Cache) lookup(set int, tag uint32) int {
+	for w, ln := range c.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victimWay picks the LRU way of the set (preferring invalid ways).
+func (c *Cache) victimWay(set int) int {
+	ways := c.sets[set]
+	best := 0
+	for w := range ways {
+		if !ways[w].valid {
+			return w
+		}
+		if ways[w].lastUse < ways[best].lastUse {
+			best = w
+		}
+	}
+	return best
+}
+
+// Access implements mem.Port.
+//
+// Requests that straddle a line boundary are split and serialized, which
+// is exactly the penalty the alignment transformation removes.
+func (c *Cache) Access(now int64, req mem.Req) int64 {
+	if req.Bytes <= 0 {
+		req.Bytes = 1
+	}
+	if mem.CrossesLine(req.Addr, req.Bytes, c.cfg.LineSize) {
+		first := int(mem.LineAddr(req.Addr, c.cfg.LineSize)) + c.cfg.LineSize - int(req.Addr)
+		d1 := c.accessOne(now, mem.Req{Addr: req.Addr, Bytes: first, Kind: req.Kind})
+		rest := mem.Req{Addr: req.Addr + mem.Addr(first), Bytes: req.Bytes - first, Kind: req.Kind}
+		if req.Kind == mem.Write || req.Kind == mem.WriteBack {
+			// The two halves of a store issue back to back.
+			return c.accessOne(now+1, rest)
+		}
+		// A split load needs both halves before the value is usable.
+		d2 := c.accessOne(now+1, rest)
+		if d1 > d2 {
+			return d1
+		}
+		return d2
+	}
+	return c.accessOne(now, req)
+}
+
+func (c *Cache) accessOne(now int64, req mem.Req) int64 {
+	set, tag := c.indexOf(req.Addr)
+	bank := c.bankOf(req.Addr)
+	lineAddr := mem.LineAddr(req.Addr, c.cfg.LineSize)
+
+	start := now
+	if c.bankFree[bank] > start {
+		c.BankConflictCycles += c.bankFree[bank] - start
+		if int(req.Kind) < len(c.ConflictByKind) {
+			c.ConflictByKind[req.Kind] += c.bankFree[bank] - start
+		}
+		start = c.bankFree[bank]
+	}
+
+	c.useClock++
+	way := c.lookup(set, tag)
+	isWrite := req.Kind == mem.Write || req.Kind == mem.WriteBack
+	c.stats.Record(req.Kind, way >= 0)
+
+	if way >= 0 { // hit
+		ln := &c.sets[set][way]
+		ln.lastUse = c.useClock
+		lat, ival := c.cfg.ReadLat, c.cfg.ReadInterval
+		if isWrite {
+			lat, ival = c.cfg.WriteLat, c.cfg.WriteInterval
+			ln.dirty = true
+		}
+		done := start + lat
+		c.bankFree[bank] = start + ival
+		c.stats.BusyCycles += ival
+		if req.Kind == mem.Prefetch {
+			return start // nothing to do, core does not wait
+		}
+		return done
+	}
+
+	// Miss. First check for an in-flight fill of the same line.
+	if m := c.findMSHR(lineAddr); m != nil {
+		done := m.ready
+		if done < start {
+			done = start
+		}
+		if isWrite {
+			// The write retires into the freshly filled line.
+			done += c.cfg.WriteLat
+			c.touchFilledLine(set, tag, true)
+		} else {
+			c.touchFilledLine(set, tag, false)
+		}
+		if req.Kind == mem.Prefetch {
+			return start
+		}
+		return done
+	}
+
+	// Allocate an MSHR, stalling if the file is full.
+	start = c.allocMSHRTime(start)
+
+	// The miss is detected after the tag/array lookup.
+	missAt := start + c.cfg.ReadLat
+	fillDone := c.next.Access(missAt, mem.Req{Addr: lineAddr, Bytes: c.cfg.LineSize, Kind: mem.Fill})
+	c.stats.Fills++
+
+	// Choose and evict the victim.
+	vw := c.victimWay(set)
+	victim := &c.sets[set][vw]
+	if victim.valid {
+		c.Evictions++
+		if victim.dirty {
+			c.DirtyEvictions++
+			fillDone = c.pushWriteback(fillDone, c.reconstructAddr(set, victim.tag))
+		}
+	}
+	*victim = line{tag: tag, valid: true, dirty: isWrite, lastUse: c.useClock}
+
+	// The bank is busy only for the lookup; the line is fetched through
+	// an MSHR while the array keeps serving other requests (the brief
+	// install write at fillDone is not modelled as occupancy, like
+	// gem5's classic caches). The requested word bypasses to the
+	// requester critical-word-first.
+	c.bankFree[bank] = start + c.cfg.ReadInterval
+	c.stats.BusyCycles += c.cfg.ReadInterval
+	c.setMSHR(lineAddr, fillDone+1)
+
+	switch req.Kind {
+	case mem.Prefetch:
+		return start
+	case mem.Write, mem.WriteBack:
+		return fillDone + c.cfg.WriteLat
+	default:
+		return fillDone + 1
+	}
+}
+
+// touchFilledLine refreshes LRU/dirty state for a line that an MSHR merge
+// hit; the line may already be installed by the original miss.
+func (c *Cache) touchFilledLine(set int, tag uint32, dirty bool) {
+	if w := c.lookup(set, tag); w >= 0 {
+		ln := &c.sets[set][w]
+		ln.lastUse = c.useClock
+		if dirty {
+			ln.dirty = true
+		}
+	}
+}
+
+func (c *Cache) reconstructAddr(set int, tag uint32) mem.Addr {
+	l := uint32(set) | tag<<uint(log2(c.cfg.Sets()))
+	return mem.Addr(l) * mem.Addr(c.cfg.LineSize)
+}
+
+func (c *Cache) findMSHR(lineAddr mem.Addr) *mshr {
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].lineAddr == lineAddr {
+			return &c.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// allocMSHRTime returns the cycle at which an MSHR slot is available at or
+// after start, expiring completed entries along the way.
+func (c *Cache) allocMSHRTime(start int64) int64 {
+	earliest := int64(-1)
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid || m.ready <= start {
+			m.valid = false
+			return start
+		}
+		if earliest < 0 || m.ready < earliest {
+			earliest = m.ready
+		}
+	}
+	c.MSHRStallCycles += earliest - start
+	// One entry frees at `earliest`.
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].ready == earliest {
+			c.mshrs[i].valid = false
+			break
+		}
+	}
+	return earliest
+}
+
+func (c *Cache) setMSHR(lineAddr mem.Addr, ready int64) {
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			c.mshrs[i] = mshr{lineAddr: lineAddr, valid: true, ready: ready}
+			return
+		}
+	}
+	// allocMSHRTime guaranteed a free slot; reaching here is a bug.
+	panic("cache: no free MSHR after allocation")
+}
+
+// pushWriteback places a dirty eviction into the write buffer. The fill
+// normally proceeds unhindered; only a full buffer back-pressures it.
+func (c *Cache) pushWriteback(now int64, victimAddr mem.Addr) int64 {
+	slot := -1
+	var soonest int64 = -1
+	for i := range c.wbuf {
+		if c.wbuf[i].retire <= now {
+			slot = i
+			break
+		}
+		if soonest < 0 || c.wbuf[i].retire < soonest {
+			soonest = c.wbuf[i].retire
+			slot = i
+		}
+	}
+	start := now
+	if c.wbuf[slot].retire > now {
+		c.WBStallCycles += soonest - now
+		start = soonest
+	}
+	retire := c.next.Access(start, mem.Req{Addr: victimAddr, Bytes: c.cfg.LineSize, Kind: mem.WriteBack})
+	c.wbuf[slot].retire = retire
+	return start
+}
+
+// Contains reports whether the line holding addr is present (for tests
+// and invariant checks; no timing side effects).
+func (c *Cache) Contains(addr mem.Addr) bool {
+	set, tag := c.indexOf(addr)
+	return c.lookup(set, tag) >= 0
+}
+
+// Dirty reports whether the line holding addr is present and dirty.
+func (c *Cache) Dirty(addr mem.Addr) bool {
+	set, tag := c.indexOf(addr)
+	w := c.lookup(set, tag)
+	return w >= 0 && c.sets[set][w].dirty
+}
+
+// ResidentLines returns the number of valid lines (for occupancy checks).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResetTiming clears timing state (bank clocks, MSHRs, write buffer) and
+// all counters while keeping cache contents — used between a warm-up run
+// and the measured run.
+func (c *Cache) ResetTiming() {
+	for i := range c.bankFree {
+		c.bankFree[i] = 0
+	}
+	for i := range c.mshrs {
+		c.mshrs[i] = mshr{}
+	}
+	for i := range c.wbuf {
+		c.wbuf[i] = wbEntry{}
+	}
+	c.stats = mem.Stats{}
+	c.BankConflictCycles = 0
+	c.ConflictByKind = [6]int64{}
+	c.MSHRStallCycles = 0
+	c.WBStallCycles = 0
+	c.Evictions = 0
+	c.DirtyEvictions = 0
+}
+
+// Reset clears all state and counters.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for w := range set {
+			set[w] = line{}
+		}
+	}
+	for i := range c.bankFree {
+		c.bankFree[i] = 0
+	}
+	for i := range c.mshrs {
+		c.mshrs[i] = mshr{}
+	}
+	for i := range c.wbuf {
+		c.wbuf[i] = wbEntry{}
+	}
+	c.useClock = 0
+	c.stats = mem.Stats{}
+	c.BankConflictCycles = 0
+	c.ConflictByKind = [6]int64{}
+	c.MSHRStallCycles = 0
+	c.WBStallCycles = 0
+	c.Evictions = 0
+	c.DirtyEvictions = 0
+}

@@ -1,0 +1,101 @@
+package compile
+
+import (
+	"fmt"
+
+	"sttdl1/internal/isa"
+)
+
+// label is a forward-patchable branch target.
+type label int
+
+// emitter accumulates instructions and resolves labels at the end.
+type emitter struct {
+	insts  []isa.Inst
+	bound  map[label]int // label -> instruction index
+	fixups []fixup
+	nlab   label
+}
+
+type fixup struct {
+	at int // index of the branch instruction
+	l  label
+}
+
+func newEmitter() *emitter {
+	return &emitter{bound: make(map[label]int)}
+}
+
+func (e *emitter) emit(in isa.Inst) { e.insts = append(e.insts, in) }
+
+func (e *emitter) newLabel() label {
+	e.nlab++
+	return e.nlab
+}
+
+// bind places l at the next emitted instruction.
+func (e *emitter) bind(l label) {
+	if _, dup := e.bound[l]; dup {
+		panic(fmt.Sprintf("compile: label %d bound twice", l))
+	}
+	e.bound[l] = len(e.insts)
+}
+
+// br emits a PC-relative branch to l, patched at finish.
+func (e *emitter) br(op isa.Opcode, ra, rb isa.Reg, l label) {
+	e.fixups = append(e.fixups, fixup{at: len(e.insts), l: l})
+	e.emit(isa.Inst{Op: op, Ra: ra, Rb: rb})
+}
+
+// finish patches branch offsets and returns the instruction stream.
+func (e *emitter) finish() ([]isa.Inst, error) {
+	for _, f := range e.fixups {
+		target, ok := e.bound[f.l]
+		if !ok {
+			return nil, fmt.Errorf("compile: unbound label %d", f.l)
+		}
+		e.insts[f.at].Imm = int32(target - (f.at + 1))
+	}
+	return e.insts, nil
+}
+
+// regPool hands out registers of one class with explicit free; it panics
+// on exhaustion or double-free (both are compiler bugs).
+type regPool struct {
+	name  string
+	avail []isa.Reg
+	inUse map[isa.Reg]bool
+	peak  int
+}
+
+func newRegPool(name string, regs []isa.Reg) *regPool {
+	return &regPool{name: name, avail: regs, inUse: make(map[isa.Reg]bool)}
+}
+
+func (p *regPool) alloc() isa.Reg {
+	for _, r := range p.avail {
+		if !p.inUse[r] {
+			p.inUse[r] = true
+			if n := len(p.inUse); n > p.peak {
+				p.peak = n
+			}
+			return r
+		}
+	}
+	panic(fmt.Sprintf("compile: %s register pool exhausted (%d regs)", p.name, len(p.avail)))
+}
+
+func (p *regPool) free(r isa.Reg) {
+	if !p.inUse[r] {
+		panic(fmt.Sprintf("compile: %s pool: double free of r%d", p.name, r))
+	}
+	delete(p.inUse, r)
+}
+
+func intRange(lo, hi isa.Reg) []isa.Reg {
+	out := make([]isa.Reg, 0, hi-lo+1)
+	for r := lo; r <= hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}

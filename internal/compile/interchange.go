@@ -1,0 +1,126 @@
+package compile
+
+import "sttdl1/internal/ir"
+
+// Loop interchange — the extension pass behind the paper's closing
+// remark that "a systematic approach is being looked into to facilitate
+// and best exploit the above mentioned code transformations". PolyBench's
+// column-walk nests (mvt's transposed product, trmm, covariance, gemver's
+// x phase) touch a new cache line on every innermost iteration, which no
+// small buffer can capture; interchanging the two inner loops turns them
+// into stride-1 row walks the vectorizer and the VWB both love.
+//
+// The pass fires on loops the author marks InterchangeOK (manual
+// steering, like the paper's other pragmas) and handles the common
+// imperfect shape by distributing the loop first:
+//
+//	for a { pre…; for b { body }; post… }
+//
+// becomes
+//
+//	for a { pre… }
+//	for b { for a { body } }
+//	for a { post… }
+//
+// Structural requirements checked here: exactly one nested loop, unit
+// steps, and the inner loop's bounds independent of the outer variable
+// (the nest is rectangular in the swapped pair). The *semantic* legality
+// of the distribution and the swap — no dependence between pre/post and
+// other iterations' bodies, and commutable iterations — is the author's
+// assertion, exactly like IVDep.
+func interchangeStmts(ss []ir.Stmt) ([]ir.Stmt, int) {
+	n := 0
+	out := make([]ir.Stmt, 0, len(ss))
+	for _, s := range ss {
+		switch st := s.(type) {
+		case ir.Loop:
+			if st.InterchangeOK {
+				if repl, ok := interchangeOne(st); ok {
+					n++
+					// The produced loops may themselves contain marked
+					// nests (not in our kernels, but stay recursive).
+					repl, m := interchangeStmts(repl)
+					out = append(out, repl...)
+					n += m
+					continue
+				}
+			}
+			body, m := interchangeStmts(st.Body)
+			st.Body = body
+			n += m
+			out = append(out, st)
+		case ir.If:
+			thenS, mt := interchangeStmts(st.Then)
+			elseS, me := interchangeStmts(st.Else)
+			st.Then, st.Else = thenS, elseS
+			n += mt + me
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, n
+}
+
+// interchangeOne rewrites one marked loop; ok is false when the
+// structural conditions fail (the loop is then compiled unchanged).
+func interchangeOne(outer ir.Loop) ([]ir.Stmt, bool) {
+	if outer.StepOf() != 1 {
+		return nil, false
+	}
+	var pre, post []ir.Stmt
+	var inner *ir.Loop
+	for _, s := range outer.Body {
+		if lp, isLoop := s.(ir.Loop); isLoop {
+			if inner != nil {
+				return nil, false // more than one nested loop
+			}
+			lp := lp
+			inner = &lp
+			continue
+		}
+		if containsLoop(s) {
+			return nil, false // a loop hiding under an If
+		}
+		if inner == nil {
+			pre = append(pre, s)
+		} else {
+			post = append(post, s)
+		}
+	}
+	if inner == nil || inner.StepOf() != 1 {
+		return nil, false
+	}
+	// Rectangular pair: the inner bounds must not move with the outer var.
+	if inner.Lo.Var == outer.Var || inner.Hi.Var == outer.Var {
+		return nil, false
+	}
+
+	var out []ir.Stmt
+	if len(pre) > 0 {
+		out = append(out, ir.Loop{
+			Var: outer.Var, Lo: outer.Lo, Hi: outer.Hi,
+			Body: pre, Vectorizable: outer.Vectorizable, IVDep: outer.IVDep,
+		})
+	}
+	// The swapped nest: the old inner loop's pragmas travel with the
+	// body to the new innermost position (the author wrote them for the
+	// post-interchange stride situation).
+	newInner := ir.Loop{
+		Var: outer.Var, Lo: outer.Lo, Hi: outer.Hi,
+		Body:         inner.Body,
+		Vectorizable: inner.Vectorizable,
+		IVDep:        inner.IVDep,
+	}
+	out = append(out, ir.Loop{
+		Var: inner.Var, Lo: inner.Lo, Hi: inner.Hi,
+		Body: []ir.Stmt{newInner},
+	})
+	if len(post) > 0 {
+		out = append(out, ir.Loop{
+			Var: outer.Var, Lo: outer.Lo, Hi: outer.Hi,
+			Body: post, Vectorizable: outer.Vectorizable, IVDep: outer.IVDep,
+		})
+	}
+	return out, true
+}

@@ -1,0 +1,292 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"sttdl1/internal/ir"
+)
+
+// Branch removal (paper §V: "we also attempt to transform conditional
+// jumps in the innermost loops to branch-less equivalents"): an If whose
+// arms are single assignments to the same element becomes one predicated
+// assignment lowered to compare + select, eliminating the data-dependent
+// branch and its mispredictions.
+//
+// An If with no else arm keeps the old value via a reload of the target
+// element, matching the predicated-execution semantics of the evaluator's
+// Ternary.
+
+func branchlessStmts(ss []ir.Stmt) ([]ir.Stmt, int) {
+	n := 0
+	out := make([]ir.Stmt, 0, len(ss))
+	for _, s := range ss {
+		switch st := s.(type) {
+		case ir.Loop:
+			body, m := branchlessStmts(st.Body)
+			st.Body = body
+			n += m
+			out = append(out, st)
+		case ir.If:
+			if as, ok := predicate(st); ok {
+				n++
+				out = append(out, as)
+				continue
+			}
+			thenS, mt := branchlessStmts(st.Then)
+			elseS, me := branchlessStmts(st.Else)
+			st.Then, st.Else = thenS, elseS
+			n += mt + me
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, n
+}
+
+// predicate matches the convertible If shapes.
+func predicate(st ir.If) (ir.Assign, bool) {
+	if len(st.Then) != 1 {
+		return ir.Assign{}, false
+	}
+	thenAs, ok := st.Then[0].(ir.Assign)
+	if !ok {
+		return ir.Assign{}, false
+	}
+	var elseRHS ir.Expr
+	switch len(st.Else) {
+	case 0:
+		// if (c) X = e  =>  X = c ? e : X
+		elseRHS = ir.Load{Arr: thenAs.Arr, Idx: thenAs.Idx}
+	case 1:
+		elseAs, ok := st.Else[0].(ir.Assign)
+		if !ok || elseAs.Arr != thenAs.Arr || !sameIdx(thenAs.Idx, elseAs.Idx) {
+			return ir.Assign{}, false
+		}
+		elseRHS = elseAs.RHS
+	default:
+		return ir.Assign{}, false
+	}
+	return ir.Assign{
+		Arr: thenAs.Arr,
+		Idx: thenAs.Idx,
+		RHS: ir.Ternary{Cond: st.Cond, Then: thenAs.RHS, Else: elseRHS},
+	}, true
+}
+
+func sameIdx(a, b []ir.Aff) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !affEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Software prefetch insertion (paper §V: "we can pre-fetch critical data
+// and loop arrays to the VWB manually and hence reduce time taken to read
+// it from the NVM"): in every innermost loop, each distinct stride-1
+// stream gets a PLD one cache line (distElems elements) ahead, placed at
+// the top of the body. On the VWB organization the PLD promotes the next
+// line into the buffer; on a plain cache it pulls the line into the DL1.
+
+func prefetchStmts(ss []ir.Stmt, distElems, maxStreams int) ([]ir.Stmt, int) {
+	n := 0
+	out := make([]ir.Stmt, 0, len(ss))
+	for _, s := range ss {
+		switch st := s.(type) {
+		case ir.Loop:
+			if innermost(st) {
+				pf := streamPrefetches(st, distElems, maxStreams)
+				n += len(pf)
+				st.Body = append(pf, st.Body...)
+			} else {
+				body, m := prefetchStmts(st.Body, distElems, maxStreams)
+				st.Body = body
+				n += m
+			}
+			out = append(out, st)
+		case ir.If:
+			thenS, mt := prefetchStmts(st.Then, distElems, maxStreams)
+			elseS, me := prefetchStmts(st.Else, distElems, maxStreams)
+			st.Then, st.Else = thenS, elseS
+			n += mt + me
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, n
+}
+
+func innermost(lp ir.Loop) bool {
+	for _, s := range lp.Body {
+		if containsLoop(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsLoop(s ir.Stmt) bool {
+	switch st := s.(type) {
+	case ir.Loop:
+		return true
+	case ir.If:
+		for _, t := range st.Then {
+			if containsLoop(t) {
+				return true
+			}
+		}
+		for _, t := range st.Else {
+			if containsLoop(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// streamPrefetches finds the distinct stride-1 load streams of lp, ranks
+// them by criticality (the paper's manually identified "critical data":
+// big arrays first, because those are the ones that miss; then touch
+// count), and prefetches the top few, distElems elements ahead.
+//
+// The budget adapts to the loop's line footprint the way the paper's
+// manual tuning would: with bufferLines rows in the VWB and S live lines
+// (load streams plus loop-invariant hot lines), prefetching more than
+// bufferLines-S streams evicts demand-hot rows, so the budget is
+// clamp(bufferLines-S, 1, maxStreams). Store-only streams neither count
+// against the footprint (stores do not allocate in the VWB) nor get
+// prefetched (useless).
+func streamPrefetches(lp ir.Loop, distElems, maxStreams int) []ir.Stmt {
+	type stream struct {
+		pf    ir.Prefetch
+		arr   *ir.Array
+		count int
+		loads int
+		order int
+	}
+	seen := map[string]*stream{}
+	var streams []*stream
+	invariant := map[string]bool{} // distinct loop-invariant load lines
+	current := &struct{ isLoad bool }{}
+	columnWalk := false
+	add := func(arr *ir.Array, idx []ir.Aff) {
+		ba := byteAff(arr, idx)
+		coef := ba.CoefOf(lp.Var)
+		if coef == 0 && current.isLoad {
+			invariant[fmt.Sprintf("%s|%s", arr.Name, ba.String())] = true
+		}
+		if coef != 0 && coef != 4 && current.isLoad {
+			// A column walk: every iteration touches a new line. Its
+			// misses churn the buffer no matter what, so prefetching
+			// this loop is wasted work.
+			columnWalk = true
+		}
+		if coef != 4 {
+			return // not a stride-1 stream of this loop
+		}
+		// Key by the stream shape with the constant offset quantized to
+		// cache lines: A[i][j-1..j+1] collapse into one prefetch, while
+		// the row-apart stencil streams A[i-1][j] and A[i+1][j] stay
+		// distinct.
+		lineBytes := 4 * distElems
+		q := (ba.Const + lineBytes/2) / lineBytes
+		if ba.Const < -lineBytes/2 {
+			q = (ba.Const - lineBytes/2) / lineBytes
+		}
+		key := fmt.Sprintf("%s|%s|%d", arr.Name, ir.Aff{Terms: ba.Terms}.String(), q)
+		if st, dup := seen[key]; dup {
+			st.count++
+			if current.isLoad {
+				st.loads++
+			}
+			return
+		}
+		ahead := cloneIdx(idx)
+		ahead[len(ahead)-1] = ahead[len(ahead)-1].AddConst(distElems)
+		st := &stream{pf: ir.Prefetch{Arr: arr, Idx: ahead}, arr: arr, count: 1, order: len(streams)}
+		if current.isLoad {
+			st.loads++
+		}
+		seen[key] = st
+		streams = append(streams, st)
+	}
+	var visitExpr func(e ir.Expr)
+	visitExpr = func(e ir.Expr) {
+		current.isLoad = true
+		walkLoads(e, func(ld ir.Load) { add(ld.Arr, ld.Idx) })
+	}
+	var visitStmt func(s ir.Stmt)
+	visitStmt = func(s ir.Stmt) {
+		switch st := s.(type) {
+		case ir.Assign:
+			current.isLoad = false
+			add(st.Arr, st.Idx)
+			visitExpr(st.RHS)
+		case ir.If:
+			visitExpr(st.Cond.L)
+			visitExpr(st.Cond.R)
+			for _, t := range st.Then {
+				visitStmt(t)
+			}
+			for _, t := range st.Else {
+				visitStmt(t)
+			}
+		}
+	}
+	for _, s := range lp.Body {
+		visitStmt(s)
+	}
+
+	// Only load streams matter: store-only streams do not allocate.
+	cands := streams[:0]
+	for _, st := range streams {
+		if st.loads > 0 {
+			cands = append(cands, st)
+		}
+	}
+	footprint := len(cands) + len(invariant)
+	budget := vwbBufferLines - footprint
+	if columnWalk || budget < 0 {
+		budget = 0
+	}
+	if budget > maxStreams {
+		budget = maxStreams
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.arr.Elems() != b.arr.Elems() {
+			return a.arr.Elems() > b.arr.Elems()
+		}
+		if a.count != b.count {
+			return a.count > b.count
+		}
+		return a.order < b.order
+	})
+	if len(cands) > budget {
+		cands = cands[:budget]
+	}
+	out := make([]ir.Stmt, len(cands))
+	for i, st := range cands {
+		out[i] = st.pf
+	}
+	return out
+}
+
+// vwbBufferLines is the 2 Kbit VWB's row count (the capacity the adaptive
+// prefetch budget protects).
+const vwbBufferLines = 4
+
+func cloneIdx(idx []ir.Aff) []ir.Aff {
+	out := make([]ir.Aff, len(idx))
+	for i, a := range idx {
+		out[i] = ir.Aff{Const: a.Const, Terms: append([]ir.Term(nil), a.Terms...)}
+	}
+	return out
+}

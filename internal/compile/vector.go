@@ -1,0 +1,530 @@
+package compile
+
+import (
+	"fmt"
+
+	"sttdl1/internal/ir"
+	"sttdl1/internal/isa"
+)
+
+// Vectorization (paper §V): marked innermost loops are converted "from a
+// scalar implementation, which processes a single pair of operands at a
+// time, to a vector implementation" with 4-lane SIMD, a scalar tail loop
+// handling the remainder. The kernel author marks candidate loops
+// (Loop.Vectorizable — the paper steers transformations manually); the
+// planner still proves the loop fits one of the supported shapes:
+//
+//   - map statements: the stored element moves stride-1 with the loop
+//     variable, every load moves stride-0 (invariant, splat) or stride-1;
+//   - reduction statements: the stored element is loop-invariant and the
+//     statement has the shape X = X + f(...) — compiled to a vector
+//     accumulator with a horizontal sum in the epilogue.
+//
+// Loop-invariant loads, parameters, and constants are hoisted and
+// splatted once before the vector loop.
+
+type vstmtKind uint8
+
+const (
+	vsMap vstmtKind = iota
+	vsRed
+	vsPrefetch
+)
+
+type vstmt struct {
+	kind vstmtKind
+	as   ir.Assign   // for vsMap/vsRed
+	rest ir.Expr     // reduction: RHS minus the accumulator load
+	neg  bool        // reduction is X = X - rest
+	pf   ir.Prefetch // for vsPrefetch
+}
+
+// planVectorLoop verifies legality and classifies each body statement.
+func planVectorLoop(lp ir.Loop) ([]vstmt, bool) {
+	var plan []vstmt
+	mapWrites := map[*ir.Array][]ir.Aff{} // array -> byte affs written by maps
+	redTargets := map[*ir.Array]bool{}
+
+	for _, s := range lp.Body {
+		switch st := s.(type) {
+		case ir.Prefetch:
+			plan = append(plan, vstmt{kind: vsPrefetch, pf: st})
+		case ir.Assign:
+			lhs := byteAff(st.Arr, st.Idx)
+			switch lhs.CoefOf(lp.Var) {
+			case 4:
+				if !exprVectorizable(st.RHS, lp.Var) {
+					return nil, false
+				}
+				plan = append(plan, vstmt{kind: vsMap, as: st})
+				mapWrites[st.Arr] = append(mapWrites[st.Arr], lhs)
+			case 0:
+				rest, neg, ok := reductionRest(st)
+				if !ok || !exprVectorizable(rest, lp.Var) {
+					return nil, false
+				}
+				plan = append(plan, vstmt{kind: vsRed, as: st, rest: rest, neg: neg})
+				redTargets[st.Arr] = true
+			default:
+				return nil, false
+			}
+		default:
+			return nil, false // nested loops / Ifs stay scalar
+		}
+	}
+	if len(plan) == 0 {
+		return nil, false
+	}
+
+	// Cross-statement alias discipline: a load from an array some map
+	// statement writes must address exactly the written element (the
+	// read-modify-write idiom); anything else risks reading a lane the
+	// vector iteration has not produced yet. Reduction targets must not
+	// be touched by any other statement. The author's IVDep pragma
+	// waives these checks (manual steering, paper §V).
+	if lp.IVDep {
+		return plan, true
+	}
+	ok := true
+	for _, s := range plan {
+		if s.kind == vsPrefetch {
+			continue
+		}
+		e := s.as.RHS
+		if s.kind == vsRed {
+			e = s.rest
+		}
+		walkLoads(e, func(ld ir.Load) {
+			if affs, written := mapWrites[ld.Arr]; written {
+				la := byteAff(ld.Arr, ld.Idx)
+				for _, w := range affs {
+					if !affEqual(la, w) {
+						ok = false
+					}
+				}
+			}
+			if redTargets[ld.Arr] {
+				ok = false
+			}
+		})
+		if s.kind == vsMap && redTargets[s.as.Arr] {
+			ok = false
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	return plan, true
+}
+
+// reductionRest matches X = X + rest (either operand order) or
+// X = X - rest, returning rest and whether it accumulates negatively.
+func reductionRest(st ir.Assign) (rest ir.Expr, neg, ok bool) {
+	b, isBin := st.RHS.(ir.Bin)
+	if !isBin || (b.Op != ir.Add && b.Op != ir.Sub) {
+		return nil, false, false
+	}
+	lhs := byteAff(st.Arr, st.Idx)
+	isAcc := func(e ir.Expr) bool {
+		ld, isLd := e.(ir.Load)
+		return isLd && ld.Arr == st.Arr && affEqual(byteAff(ld.Arr, ld.Idx), lhs)
+	}
+	if isAcc(b.L) {
+		return b.R, b.Op == ir.Sub, true
+	}
+	if b.Op == ir.Add && isAcc(b.R) {
+		return b.L, false, true
+	}
+	return nil, false, false
+}
+
+// exprVectorizable checks every load moves stride-0 or stride-1 with v.
+func exprVectorizable(e ir.Expr, v string) bool {
+	ok := true
+	walkLoads(e, func(ld ir.Load) {
+		if c := byteAff(ld.Arr, ld.Idx).CoefOf(v); c != 0 && c != 4 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func walkLoads(e ir.Expr, f func(ir.Load)) {
+	switch ex := e.(type) {
+	case ir.Load:
+		f(ex)
+	case ir.Bin:
+		walkLoads(ex.L, f)
+		walkLoads(ex.R, f)
+	case ir.Ternary:
+		walkLoads(ex.Cond.L, f)
+		walkLoads(ex.Cond.R, f)
+		walkLoads(ex.Then, f)
+		walkLoads(ex.Else, f)
+	}
+}
+
+func affEqual(a, b ir.Aff) bool {
+	d := a.Plus(scaleAff(b, -1))
+	return d.Const == 0 && len(d.Terms) == 0
+}
+
+// vcache caches hoisted loop-invariant vector values during one vector
+// loop's emission.
+type vcache struct {
+	regs map[string]isa.Reg
+}
+
+// emitVectorBody emits one vector step of every planned statement at the
+// current unrollShift. Prefetches are emitted only when withPrefetch is
+// set (the first unroll position of the main loop).
+func (c *compiler) emitVectorBody(lp ir.Loop, plan []vstmt, cache *vcache, redAcc []isa.Reg, withPrefetch bool) {
+	for i, s := range plan {
+		switch s.kind {
+		case vsPrefetch:
+			if withPrefetch { // one PLD per stream per line
+				c.emitMem(isa.OpPLD, isa.OpInvalid, 0, c.memRef(s.pf.Arr, s.pf.Idx))
+			}
+		case vsMap:
+			v, owned := c.vexpr(s.as.RHS, lp.Var, cache)
+			c.emitMem(isa.OpVSTR, isa.OpVSTRX, v, c.memRef(s.as.Arr, s.as.Idx))
+			if owned {
+				c.vecs.free(v)
+			}
+		case vsRed:
+			// X += a*b becomes a fused multiply-accumulate.
+			if b, ok := s.rest.(ir.Bin); ok && b.Op == ir.Mul {
+				va, ao := c.vexpr(b.L, lp.Var, cache)
+				vb, bo := c.vexpr(b.R, lp.Var, cache)
+				c.emit(isa.Inst{Op: isa.OpVFMA, Rd: redAcc[i], Ra: va, Rb: vb})
+				if ao {
+					c.vecs.free(va)
+				}
+				if bo {
+					c.vecs.free(vb)
+				}
+			} else {
+				vr, ro := c.vexpr(s.rest, lp.Var, cache)
+				c.emit(isa.Inst{Op: isa.OpVADD, Rd: redAcc[i], Ra: redAcc[i], Rb: vr})
+				if ro {
+					c.vecs.free(vr)
+				}
+			}
+		}
+	}
+}
+
+// vectorLoop emits the SIMD main loop plus scalar tail for a planned
+// loop. rv/rh hold the induction variable and the exclusive bound.
+//
+// The main loop is unrolled to cover one full cache line per iteration
+// (LineSize/4 elements = 4 vector operations), so loop overhead and —
+// crucially — the software-prefetch PLDs are paid once per line instead
+// of once per vector step (the hand-tuned shape the paper's manual
+// intrinsics would produce).
+func (c *compiler) vectorLoop(lp ir.Loop, plan []vstmt, rv, rh isa.Reg) {
+	lVTop, lTail, lTTop, lEnd := c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel()
+
+	unroll := c.opt.LineSize / 4 / isa.VecLanes
+	if unroll < 1 {
+		unroll = 1
+	}
+	span := int32(unroll * isa.VecLanes)
+
+	rlimit := c.ints.alloc()
+	c.emit(isa.Inst{Op: isa.OpSUBI, Rd: rlimit, Ra: rh, Imm: span - 1})
+	c.br(isa.OpBGE, rv, rlimit, lTail)
+
+	// ---- Hoist region: invariant splats and reduction accumulators.
+	cache := &vcache{regs: make(map[string]isa.Reg)}
+	written := map[*ir.Array]bool{}
+	for _, s := range plan {
+		if s.kind != vsPrefetch {
+			written[s.as.Arr] = true
+		}
+	}
+	for _, s := range plan {
+		switch s.kind {
+		case vsMap:
+			c.hoistInvariants(s.as.RHS, lp.Var, written, cache)
+		case vsRed:
+			c.hoistInvariants(s.rest, lp.Var, written, cache)
+		}
+	}
+	redAcc := make([]isa.Reg, len(plan))
+	for i, s := range plan {
+		if s.kind != vsRed {
+			continue
+		}
+		acc := c.vecs.alloc()
+		fz := c.fps.alloc()
+		c.emit(isa.Inst{Op: isa.OpFMOVI, Rd: fz, Imm: isa.BitsFromF32(0)})
+		c.emit(isa.Inst{Op: isa.OpVSPLAT, Rd: acc, Ra: fz})
+		c.fps.free(fz)
+		redAcc[i] = acc
+	}
+
+	// ---- Vector main loop (unrolled over one cache line). Each unroll
+	// position uses a shadow induction register (rv + u*lanes) so every
+	// access keeps its single-instruction indexed form.
+	c.bind(lVTop)
+	for u := 0; u < unroll; u++ {
+		if u == 0 {
+			c.emitVectorBody(lp, plan, cache, redAcc, true)
+			continue
+		}
+		rvu := c.ints.alloc()
+		c.emit(isa.Inst{Op: isa.OpADDI, Rd: rvu, Ra: rv, Imm: int32(u * isa.VecLanes)})
+		saved := c.loopVar[lp.Var]
+		c.loopVar[lp.Var] = rvu
+		c.emitVectorBody(lp, plan, cache, redAcc, false)
+		c.loopVar[lp.Var] = saved
+		c.ints.free(rvu)
+	}
+	c.emit(isa.Inst{Op: isa.OpADDI, Rd: rv, Ra: rv, Imm: span})
+	c.br(isa.OpBLT, rv, rlimit, lVTop)
+
+	// ---- Vector tail: single vector steps for the remaining full
+	// groups of four (no prefetching — the stream is about to end).
+	if unroll > 1 {
+		lVT, lVTTop := c.newLabel(), c.newLabel()
+		rlimit2 := c.ints.alloc()
+		c.emit(isa.Inst{Op: isa.OpSUBI, Rd: rlimit2, Ra: rh, Imm: isa.VecLanes - 1})
+		c.br(isa.OpBGE, rv, rlimit2, lVT)
+		c.bind(lVTTop)
+		c.emitVectorBody(lp, plan, cache, redAcc, false)
+		c.emit(isa.Inst{Op: isa.OpADDI, Rd: rv, Ra: rv, Imm: isa.VecLanes})
+		c.br(isa.OpBLT, rv, rlimit2, lVTTop)
+		c.bind(lVT)
+		c.ints.free(rlimit2)
+	}
+
+	// ---- Reduction epilogue: fold accumulators into memory.
+	for i, s := range plan {
+		if s.kind != vsRed {
+			continue
+		}
+		fs := c.fps.alloc()
+		c.emit(isa.Inst{Op: isa.OpVSUM, Rd: fs, Ra: redAcc[i]})
+		ft := c.fps.alloc()
+		// The accumulator cell is read-modified-written once, so keep a
+		// materialized address across the load/store pair.
+		ref := c.memRef(s.as.Arr, s.as.Idx)
+		ownedBase := ref.ownedBase
+		ref.ownedBase = false
+		c.emitMem(isa.OpFLDR, isa.OpFLDRX, ft, ref)
+		foldOp := isa.OpFADD
+		if s.neg {
+			foldOp = isa.OpFSUB
+		}
+		c.emit(isa.Inst{Op: foldOp, Rd: ft, Ra: ft, Rb: fs})
+		c.emitMem(isa.OpFSTR, isa.OpFSTRX, ft, ref)
+		if ownedBase {
+			c.ints.free(ref.base)
+		}
+		c.fps.free(ft)
+		c.fps.free(fs)
+		c.vecs.free(redAcc[i])
+	}
+	for _, r := range cache.regs {
+		c.vecs.free(r)
+	}
+
+	// ---- Scalar tail.
+	c.bind(lTail)
+	c.br(isa.OpBGE, rv, rh, lEnd)
+	c.bind(lTTop)
+	c.stmts(lp.Body)
+	c.emit(isa.Inst{Op: isa.OpADDI, Rd: rv, Ra: rv, Imm: 1})
+	c.br(isa.OpBLT, rv, rh, lTTop)
+	c.bind(lEnd)
+
+	c.ints.free(rlimit)
+}
+
+// hoistInvariants emits splats for constants, parameters, and
+// loop-invariant loads of arrays the loop does not write, caching the
+// resulting vector registers.
+func (c *compiler) hoistInvariants(e ir.Expr, v string, written map[*ir.Array]bool, cache *vcache) {
+	switch ex := e.(type) {
+	case ir.ConstF:
+		key := fmt.Sprintf("const:%08x", uint32(isa.BitsFromF32(ex.V)))
+		if _, ok := cache.regs[key]; ok {
+			return
+		}
+		f := c.fps.alloc()
+		c.emit(isa.Inst{Op: isa.OpFMOVI, Rd: f, Imm: isa.BitsFromF32(ex.V)})
+		vd := c.vecs.alloc()
+		c.emit(isa.Inst{Op: isa.OpVSPLAT, Rd: vd, Ra: f})
+		c.fps.free(f)
+		cache.regs[key] = vd
+	case ir.ParamRef:
+		key := "param:" + ex.Name
+		if _, ok := cache.regs[key]; ok {
+			return
+		}
+		pr, ok := c.paramReg[ex.Name]
+		if !ok {
+			panic(fmt.Sprintf("unknown parameter %q", ex.Name))
+		}
+		vd := c.vecs.alloc()
+		c.emit(isa.Inst{Op: isa.OpVSPLAT, Rd: vd, Ra: pr})
+		cache.regs[key] = vd
+	case ir.Load:
+		if byteAff(ex.Arr, ex.Idx).CoefOf(v) != 0 || written[ex.Arr] {
+			return
+		}
+		key := loadKey(ex)
+		if _, ok := cache.regs[key]; ok {
+			return
+		}
+		f := c.fps.alloc()
+		c.emitMem(isa.OpFLDR, isa.OpFLDRX, f, c.memRef(ex.Arr, ex.Idx))
+		vd := c.vecs.alloc()
+		c.emit(isa.Inst{Op: isa.OpVSPLAT, Rd: vd, Ra: f})
+		c.fps.free(f)
+		cache.regs[key] = vd
+	case ir.Bin:
+		c.hoistInvariants(ex.L, v, written, cache)
+		c.hoistInvariants(ex.R, v, written, cache)
+	case ir.Ternary:
+		c.hoistInvariants(ex.Cond.L, v, written, cache)
+		c.hoistInvariants(ex.Cond.R, v, written, cache)
+		c.hoistInvariants(ex.Then, v, written, cache)
+		c.hoistInvariants(ex.Else, v, written, cache)
+	}
+}
+
+func loadKey(ld ir.Load) string {
+	key := "load:" + ld.Arr.Name
+	for _, ix := range ld.Idx {
+		key += ":" + ix.String()
+	}
+	return key
+}
+
+// vexpr evaluates e as a 4-lane vector at the current lane-0 induction
+// value; owned tells the caller whether to free the register.
+func (c *compiler) vexpr(e ir.Expr, v string, cache *vcache) (isa.Reg, bool) {
+	switch ex := e.(type) {
+	case ir.ConstF:
+		key := fmt.Sprintf("const:%08x", uint32(isa.BitsFromF32(ex.V)))
+		if r, ok := cache.regs[key]; ok {
+			return r, false
+		}
+		f := c.fps.alloc()
+		c.emit(isa.Inst{Op: isa.OpFMOVI, Rd: f, Imm: isa.BitsFromF32(ex.V)})
+		vd := c.vecs.alloc()
+		c.emit(isa.Inst{Op: isa.OpVSPLAT, Rd: vd, Ra: f})
+		c.fps.free(f)
+		return vd, true
+	case ir.ParamRef:
+		if r, ok := cache.regs["param:"+ex.Name]; ok {
+			return r, false
+		}
+		pr, ok := c.paramReg[ex.Name]
+		if !ok {
+			panic(fmt.Sprintf("unknown parameter %q", ex.Name))
+		}
+		vd := c.vecs.alloc()
+		c.emit(isa.Inst{Op: isa.OpVSPLAT, Rd: vd, Ra: pr})
+		return vd, true
+	case ir.Load:
+		if byteAff(ex.Arr, ex.Idx).CoefOf(v) == 0 {
+			if r, ok := cache.regs[loadKey(ex)]; ok {
+				return r, false
+			}
+			// Invariant load of an array the loop writes: reload and
+			// splat every iteration to stay faithful.
+			f := c.fps.alloc()
+			c.emitMem(isa.OpFLDR, isa.OpFLDRX, f, c.memRef(ex.Arr, ex.Idx))
+			vd := c.vecs.alloc()
+			c.emit(isa.Inst{Op: isa.OpVSPLAT, Rd: vd, Ra: f})
+			c.fps.free(f)
+			return vd, true
+		}
+		vd := c.vecs.alloc()
+		c.emitMem(isa.OpVLDR, isa.OpVLDRX, vd, c.memRef(ex.Arr, ex.Idx))
+		return vd, true
+	case ir.Bin:
+		l, lo := c.vexpr(ex.L, v, cache)
+		r, ro := c.vexpr(ex.R, v, cache)
+		var d isa.Reg
+		switch {
+		case lo:
+			d = l
+		case ro:
+			d = r
+		default:
+			d = c.vecs.alloc()
+		}
+		c.emit(isa.Inst{Op: vectorBinOp(ex.Op), Rd: d, Ra: l, Rb: r})
+		if lo && d != l {
+			c.vecs.free(l)
+		}
+		if ro && d != r {
+			c.vecs.free(r)
+		}
+		return d, true
+	case ir.Ternary:
+		mask := c.vcond(ex.Cond, v, cache)
+		t, to := c.vexpr(ex.Then, v, cache)
+		res, eo := c.vexpr(ex.Else, v, cache)
+		if !eo { // VSELM clobbers its destination
+			cp := c.vecs.alloc()
+			c.emit(isa.Inst{Op: isa.OpVMOV, Rd: cp, Ra: res})
+			res = cp
+		}
+		c.emit(isa.Inst{Op: isa.OpVSELM, Rd: res, Ra: mask, Rb: t})
+		c.vecs.free(mask)
+		if to {
+			c.vecs.free(t)
+		}
+		return res, true
+	default:
+		panic(fmt.Sprintf("unknown vector expression %T", e))
+	}
+}
+
+func (c *compiler) vcond(cd ir.Cond, v string, cache *vcache) isa.Reg {
+	l, lo := c.vexpr(cd.L, v, cache)
+	r, ro := c.vexpr(cd.R, v, cache)
+	d := c.vecs.alloc()
+	var op isa.Opcode
+	switch cd.Op {
+	case ir.LT:
+		op = isa.OpVCLT
+	case ir.LE:
+		op = isa.OpVCLE
+	case ir.EQ:
+		op = isa.OpVCEQ
+	default:
+		panic(fmt.Sprintf("unknown comparison %d", cd.Op))
+	}
+	c.emit(isa.Inst{Op: op, Rd: d, Ra: l, Rb: r})
+	if lo {
+		c.vecs.free(l)
+	}
+	if ro {
+		c.vecs.free(r)
+	}
+	return d
+}
+
+func vectorBinOp(op ir.BinOp) isa.Opcode {
+	switch op {
+	case ir.Add:
+		return isa.OpVADD
+	case ir.Sub:
+		return isa.OpVSUB
+	case ir.Mul:
+		return isa.OpVMUL
+	case ir.Div:
+		return isa.OpVDIV
+	case ir.Min:
+		return isa.OpVMIN
+	case ir.Max:
+		return isa.OpVMAX
+	}
+	panic(fmt.Sprintf("unknown binop %d", op))
+}

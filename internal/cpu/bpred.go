@@ -1,0 +1,36 @@
+package cpu
+
+// bpred is a classic 2-bit saturating-counter direction predictor,
+// indexed by PC. Branch targets in ARMlet are static (PC-relative
+// immediates), so a BTB always knows the target and only the direction
+// can mispredict. Indirect jumps (JR) are treated as always mispredicted.
+type bpred struct {
+	table []uint8
+	mask  int
+}
+
+func newBpred(entries int) *bpred {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		entries = 512
+	}
+	t := make([]uint8, entries)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &bpred{table: t, mask: entries - 1}
+}
+
+// predict returns the predicted direction for the branch at pc.
+func (b *bpred) predict(pc int) bool { return b.table[pc&b.mask] >= 2 }
+
+// update trains the counter with the resolved direction.
+func (b *bpred) update(pc int, taken bool) {
+	c := &b.table[pc&b.mask]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}

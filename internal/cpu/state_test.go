@@ -1,0 +1,360 @@
+package cpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sttdl1/internal/isa"
+)
+
+// run interprets a short instruction sequence (HALT appended) and
+// returns the final state.
+func run(t *testing.T, insts ...isa.Inst) *State {
+	t.Helper()
+	prog := &isa.Program{Insts: append(insts, isa.Inst{Op: isa.OpHALT}), DataSize: 4096}
+	st, err := Interpret(prog, 1_000_000)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	return st
+}
+
+func TestIntArithmetic(t *testing.T) {
+	st := run(t,
+		isa.Inst{Op: isa.OpMOVI, Rd: 1, Imm: 20},
+		isa.Inst{Op: isa.OpMOVI, Rd: 2, Imm: 6},
+		isa.Inst{Op: isa.OpADD, Rd: 3, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpSUB, Rd: 4, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpMUL, Rd: 5, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpDIV, Rd: 6, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpREM, Rd: 7, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpAND, Rd: 8, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpORR, Rd: 9, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpEOR, Rd: 10, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpLSL, Rd: 11, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpASR, Rd: 12, Ra: 1, Rb: 2},
+	)
+	want := map[int]int32{3: 26, 4: 14, 5: 120, 6: 3, 7: 2, 8: 4, 9: 22, 10: 18, 11: 20 << 6, 12: 0}
+	for r, v := range want {
+		if st.R[r] != v {
+			t.Errorf("r%d = %d, want %d", r, st.R[r], v)
+		}
+	}
+}
+
+func TestImmediateArithmetic(t *testing.T) {
+	st := run(t,
+		isa.Inst{Op: isa.OpMOVI, Rd: 1, Imm: -8},
+		isa.Inst{Op: isa.OpADDI, Rd: 2, Ra: 1, Imm: 3},
+		isa.Inst{Op: isa.OpSUBI, Rd: 3, Ra: 1, Imm: 3},
+		isa.Inst{Op: isa.OpMULI, Rd: 4, Ra: 1, Imm: -2},
+		isa.Inst{Op: isa.OpLSRI, Rd: 5, Ra: 1, Imm: 28},
+		isa.Inst{Op: isa.OpASRI, Rd: 6, Ra: 1, Imm: 2},
+		isa.Inst{Op: isa.OpANDI, Rd: 7, Ra: 1, Imm: 0xF},
+		isa.Inst{Op: isa.OpEORI, Rd: 8, Ra: 1, Imm: -1},
+	)
+	want := map[int]int32{2: -5, 3: -11, 4: 16, 5: 15, 6: -2, 7: 8, 8: 7}
+	for r, v := range want {
+		if st.R[r] != v {
+			t.Errorf("r%d = %d, want %d", r, st.R[r], v)
+		}
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	st := run(t,
+		isa.Inst{Op: isa.OpMOVI, Rd: isa.ZR, Imm: 42}, // write discarded
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Ra: isa.ZR, Imm: 5},
+	)
+	if st.R[isa.ZR] != 0 {
+		t.Errorf("zr = %d, must stay 0", st.R[isa.ZR])
+	}
+	if st.R[1] != 5 {
+		t.Errorf("r1 = %d, want 5", st.R[1])
+	}
+}
+
+func TestCompareAndSelect(t *testing.T) {
+	st := run(t,
+		isa.Inst{Op: isa.OpMOVI, Rd: 1, Imm: -3},
+		isa.Inst{Op: isa.OpMOVI, Rd: 2, Imm: 4},
+		isa.Inst{Op: isa.OpSLT, Rd: 3, Ra: 1, Rb: 2},   // 1
+		isa.Inst{Op: isa.OpSLTU, Rd: 4, Ra: 1, Rb: 2},  // 0 (unsigned -3 is huge)
+		isa.Inst{Op: isa.OpSEQ, Rd: 5, Ra: 1, Rb: 1},   // 1
+		isa.Inst{Op: isa.OpSNE, Rd: 6, Ra: 1, Rb: 2},   // 1
+		isa.Inst{Op: isa.OpSLTI, Rd: 7, Ra: 1, Imm: 0}, // 1
+		isa.Inst{Op: isa.OpMOVI, Rd: 8, Imm: 100},
+		isa.Inst{Op: isa.OpSEL, Rd: 8, Ra: 3, Rb: 2}, // cond true -> r8 = 4
+		isa.Inst{Op: isa.OpMOVI, Rd: 9, Imm: 100},
+		isa.Inst{Op: isa.OpSEL, Rd: 9, Ra: isa.ZR, Rb: 2}, // cond false -> keep
+	)
+	want := map[int]int32{3: 1, 4: 0, 5: 1, 6: 1, 7: 1, 8: 4, 9: 100}
+	for r, v := range want {
+		if st.R[r] != v {
+			t.Errorf("r%d = %d, want %d", r, st.R[r], v)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	fm := func(rd isa.Reg, v float32) isa.Inst {
+		return isa.Inst{Op: isa.OpFMOVI, Rd: rd, Imm: isa.BitsFromF32(v)}
+	}
+	st := run(t,
+		fm(1, 6), fm(2, -1.5),
+		isa.Inst{Op: isa.OpFADD, Rd: 3, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpFSUB, Rd: 4, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpFMUL, Rd: 5, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpFDIV, Rd: 6, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpFNEG, Rd: 7, Ra: 2},
+		isa.Inst{Op: isa.OpFABS, Rd: 8, Ra: 2},
+		isa.Inst{Op: isa.OpFMAX, Rd: 9, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpFMIN, Rd: 10, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpFSLT, Rd: 1, Ra: 2, Rb: 1}, // int dest
+		isa.Inst{Op: isa.OpFSLE, Rd: 2, Ra: 1, Rb: 1},
+		isa.Inst{Op: isa.OpFSEQ, Rd: 3, Ra: 1, Rb: 2},
+	)
+	wantF := map[int]float32{3: 4.5, 4: 7.5, 5: -9, 6: -4, 7: 1.5, 8: 1.5, 9: 6, 10: -1.5}
+	for r, v := range wantF {
+		if st.F[r] != v {
+			t.Errorf("f%d = %g, want %g", r, st.F[r], v)
+		}
+	}
+	if st.R[1] != 1 || st.R[2] != 1 || st.R[3] != 0 {
+		t.Errorf("float compares: r1=%d r2=%d r3=%d", st.R[1], st.R[2], st.R[3])
+	}
+}
+
+func TestFloatIntConversion(t *testing.T) {
+	st := run(t,
+		isa.Inst{Op: isa.OpMOVI, Rd: 1, Imm: -7},
+		isa.Inst{Op: isa.OpFCVT, Rd: 2, Ra: 1},
+		isa.Inst{Op: isa.OpFMOVI, Rd: 3, Imm: isa.BitsFromF32(9.99)},
+		isa.Inst{Op: isa.OpFTOI, Rd: 4, Ra: 3},
+	)
+	if st.F[2] != -7 {
+		t.Errorf("fcvt = %g", st.F[2])
+	}
+	if st.R[4] != 9 {
+		t.Errorf("ftoi = %d, want truncation to 9", st.R[4])
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	fm := func(rd isa.Reg, v float32) isa.Inst {
+		return isa.Inst{Op: isa.OpFMOVI, Rd: rd, Imm: isa.BitsFromF32(v)}
+	}
+	st := run(t,
+		fm(0, 2), fm(1, 3),
+		isa.Inst{Op: isa.OpVSPLAT, Rd: 1, Ra: 0}, // v1 = [2,2,2,2]
+		isa.Inst{Op: isa.OpVSPLAT, Rd: 2, Ra: 1}, // v2 = [3,3,3,3]
+		isa.Inst{Op: isa.OpVADD, Rd: 3, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpVSUB, Rd: 4, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpVMUL, Rd: 5, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpVDIV, Rd: 6, Ra: 2, Rb: 1},
+		isa.Inst{Op: isa.OpVMIN, Rd: 7, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpVMAX, Rd: 8, Ra: 1, Rb: 2},
+		isa.Inst{Op: isa.OpVMOV, Rd: 9, Ra: 3},
+		isa.Inst{Op: isa.OpVSUM, Rd: 10, Ra: 5},       // 4*6 = 24 into f10
+		isa.Inst{Op: isa.OpVFMA, Rd: 3, Ra: 1, Rb: 2}, // v3 += 2*3 -> 11
+	)
+	checks := map[int]float32{3: 11, 4: -1, 5: 6, 6: 1.5, 7: 2, 8: 3, 9: 5}
+	for r, v := range checks {
+		for l := 0; l < isa.VecLanes; l++ {
+			if st.V[r][l] != v {
+				t.Errorf("v%d[%d] = %g, want %g", r, l, st.V[r][l], v)
+			}
+		}
+	}
+	if st.F[10] != 24 {
+		t.Errorf("vsum = %g, want 24", st.F[10])
+	}
+}
+
+func TestVectorCompareSelect(t *testing.T) {
+	fm := func(rd isa.Reg, v float32) isa.Inst {
+		return isa.Inst{Op: isa.OpFMOVI, Rd: rd, Imm: isa.BitsFromF32(v)}
+	}
+	st := run(t,
+		fm(0, 1), fm(1, 2),
+		isa.Inst{Op: isa.OpVSPLAT, Rd: 1, Ra: 0},      // [1,1,1,1]
+		isa.Inst{Op: isa.OpVSPLAT, Rd: 2, Ra: 1},      // [2,2,2,2]
+		isa.Inst{Op: isa.OpVCLT, Rd: 3, Ra: 1, Rb: 2}, // all 1.0
+		isa.Inst{Op: isa.OpVCLE, Rd: 4, Ra: 2, Rb: 2}, // all 1.0
+		isa.Inst{Op: isa.OpVCEQ, Rd: 5, Ra: 1, Rb: 2}, // all 0.0
+		isa.Inst{Op: isa.OpVMOV, Rd: 6, Ra: 1},
+		isa.Inst{Op: isa.OpVSELM, Rd: 6, Ra: 3, Rb: 2}, // mask true -> 2s
+		isa.Inst{Op: isa.OpVMOV, Rd: 7, Ra: 1},
+		isa.Inst{Op: isa.OpVSELM, Rd: 7, Ra: 5, Rb: 2}, // mask false -> keep 1s
+	)
+	for l := 0; l < isa.VecLanes; l++ {
+		if st.V[3][l] != 1 || st.V[4][l] != 1 || st.V[5][l] != 0 {
+			t.Fatalf("masks wrong at lane %d", l)
+		}
+		if st.V[6][l] != 2 {
+			t.Errorf("vselm taken: v6[%d] = %g", l, st.V[6][l])
+		}
+		if st.V[7][l] != 1 {
+			t.Errorf("vselm not taken: v7[%d] = %g", l, st.V[7][l])
+		}
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	st := run(t,
+		isa.Inst{Op: isa.OpMOVI, Rd: 1, Imm: 64},
+		isa.Inst{Op: isa.OpMOVI, Rd: 2, Imm: 0x1234},
+		isa.Inst{Op: isa.OpSTR, Rd: 2, Ra: 1, Imm: 0},
+		isa.Inst{Op: isa.OpLDR, Rd: 3, Ra: 1, Imm: 0},
+		isa.Inst{Op: isa.OpMOVI, Rd: 4, Imm: 2},
+		isa.Inst{Op: isa.OpSTRX, Rd: 2, Ra: 1, Rb: 4, Imm: 2}, // [64 + 2<<2] = [72]
+		isa.Inst{Op: isa.OpLDR, Rd: 5, Ra: 1, Imm: 8},
+		isa.Inst{Op: isa.OpFMOVI, Rd: 0, Imm: isa.BitsFromF32(2.5)},
+		isa.Inst{Op: isa.OpFSTR, Rd: 0, Ra: 1, Imm: 16},
+		isa.Inst{Op: isa.OpFLDRX, Rd: 1, Ra: 1, Rb: 4, Imm: 3}, // [64 + 16]
+	)
+	if st.R[3] != 0x1234 || st.R[5] != 0x1234 {
+		t.Errorf("loads r3=%#x r5=%#x", st.R[3], st.R[5])
+	}
+	if st.F[1] != 2.5 {
+		t.Errorf("fldrx = %g", st.F[1])
+	}
+}
+
+func TestVectorMemoryOps(t *testing.T) {
+	insts := []isa.Inst{
+		isa.Inst{Op: isa.OpMOVI, Rd: 1, Imm: 128},
+	}
+	for i := 0; i < 4; i++ {
+		insts = append(insts,
+			isa.Inst{Op: isa.OpFMOVI, Rd: 0, Imm: isa.BitsFromF32(float32(i + 1))},
+			isa.Inst{Op: isa.OpFSTR, Rd: 0, Ra: 1, Imm: int32(4 * i)},
+		)
+	}
+	insts = append(insts,
+		isa.Inst{Op: isa.OpVLDR, Rd: 2, Ra: 1, Imm: 0},
+		isa.Inst{Op: isa.OpVSTR, Rd: 2, Ra: 1, Imm: 64},
+		isa.Inst{Op: isa.OpFLDR, Rd: 3, Ra: 1, Imm: 64 + 12},
+	)
+	st := run(t, insts...)
+	for l := 0; l < 4; l++ {
+		if st.V[2][l] != float32(l+1) {
+			t.Errorf("v2[%d] = %g", l, st.V[2][l])
+		}
+	}
+	if st.F[3] != 4 {
+		t.Errorf("stored lane 3 = %g", st.F[3])
+	}
+}
+
+func TestBranchesAndCalls(t *testing.T) {
+	// Counting loop: r0 = 5 via BNE; then a BL/JR round trip sets r1.
+	prog := &isa.Program{DataSize: 64, Insts: []isa.Inst{
+		{Op: isa.OpMOVI, Rd: 0, Imm: 0},
+		{Op: isa.OpMOVI, Rd: 2, Imm: 5},
+		{Op: isa.OpADDI, Rd: 0, Ra: 0, Imm: 1}, // 2: loop top
+		{Op: isa.OpBNE, Ra: 0, Rb: 2, Imm: -2}, // back to 2
+		{Op: isa.OpBL, Imm: 2},                 // call 7
+		{Op: isa.OpB, Imm: 1},                  // skip the callee
+		{Op: isa.OpNOP},                        // 6 (skipped)
+		{Op: isa.OpHALT},                       // 7 -> halts? no: BL target
+	}}
+	// Rebuild: BL at 4 jumps to 4+1+2 = 7 (halt). LR = 5.
+	st, err := Interpret(prog, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R[0] != 5 {
+		t.Errorf("loop count r0 = %d, want 5", st.R[0])
+	}
+	if st.R[isa.LR] != 5 {
+		t.Errorf("lr = %d, want 5", st.R[isa.LR])
+	}
+}
+
+func TestJRReturns(t *testing.T) {
+	prog := &isa.Program{DataSize: 64, Insts: []isa.Inst{
+		{Op: isa.OpBL, Imm: 2},           // 0: call 3
+		{Op: isa.OpMOVI, Rd: 1, Imm: 99}, // 1: after return
+		{Op: isa.OpHALT},                 // 2
+		{Op: isa.OpMOVI, Rd: 2, Imm: 7},  // 3: callee
+		{Op: isa.OpJR, Ra: isa.LR},       // 4: return to 1
+	}}
+	st, err := Interpret(prog, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R[1] != 99 || st.R[2] != 7 {
+		t.Errorf("r1=%d r2=%d", st.R[1], st.R[2])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []isa.Inst
+		want string
+	}{
+		{"div0", []isa.Inst{{Op: isa.OpDIV, Rd: 1, Ra: 2, Rb: isa.ZR}}, "division by zero"},
+		{"rem0", []isa.Inst{{Op: isa.OpREM, Rd: 1, Ra: 2, Rb: isa.ZR}}, "remainder by zero"},
+		{"load oob", []isa.Inst{
+			{Op: isa.OpMOVI, Rd: 1, Imm: 1 << 28},
+			{Op: isa.OpLDR, Rd: 2, Ra: 1, Imm: 0},
+		}, "outside memory"},
+		{"store oob", []isa.Inst{
+			{Op: isa.OpMOVI, Rd: 1, Imm: 1 << 28},
+			{Op: isa.OpSTR, Rd: 2, Ra: 1, Imm: 0},
+		}, "outside memory"},
+		{"pc oob", []isa.Inst{{Op: isa.OpJR, Ra: 1}}, "pc outside"}, // r1=0... jr 0 loops
+	}
+	for _, c := range cases[:4] {
+		t.Run(c.name, func(t *testing.T) {
+			prog := &isa.Program{DataSize: 4096, Insts: append(c.prog, isa.Inst{Op: isa.OpHALT})}
+			_, err := Interpret(prog, 1000)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPLDNeverFaults(t *testing.T) {
+	st := run(t,
+		isa.Inst{Op: isa.OpMOVI, Rd: 1, Imm: 1 << 30},
+		isa.Inst{Op: isa.OpPLD, Ra: 1, Imm: 0},
+	)
+	if !st.Halted {
+		t.Error("program with wild PLD must complete")
+	}
+}
+
+func TestRunawayBudget(t *testing.T) {
+	prog := &isa.Program{DataSize: 64, Insts: []isa.Inst{
+		{Op: isa.OpB, Imm: -1},
+		{Op: isa.OpHALT},
+	}}
+	_, err := Interpret(prog, 100)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("err = %v, want budget exhaustion", err)
+	}
+}
+
+func TestStackPointerInitialized(t *testing.T) {
+	prog := &isa.Program{DataSize: 100, Insts: []isa.Inst{{Op: isa.OpHALT}}}
+	st := NewState(prog)
+	if int(st.R[isa.SP]) != 100+StackBytes {
+		t.Errorf("sp = %d, want %d", st.R[isa.SP], 100+StackBytes)
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	nan := float32(math.NaN())
+	st := run(t,
+		isa.Inst{Op: isa.OpFMOVI, Rd: 1, Imm: isa.BitsFromF32(nan)},
+		isa.Inst{Op: isa.OpFSEQ, Rd: 1, Ra: 1, Rb: 1}, // NaN != NaN
+	)
+	if st.R[1] != 0 {
+		t.Error("NaN must not compare equal to itself")
+	}
+}

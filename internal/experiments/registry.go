@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sttdl1/internal/stats"
+)
+
+// Result is one rendered experiment artifact, printable as an aligned
+// text table or as CSV.
+type Result interface {
+	String() string
+	CSV() string
+}
+
+// Runner produces one renderable experiment artifact.
+type Runner struct {
+	ID    string
+	Desc  string
+	Run   func(s *Suite) (Result, error)
+	Paper bool // true for the paper's own tables/figures, false for extensions
+}
+
+type figResult struct{ stats.Figure }
+type tabResult struct{ stats.Table }
+
+func (f figResult) String() string { return f.Render() }
+func (t tabResult) String() string { return t.Render() }
+
+func fig(run func(s *Suite) (stats.Figure, error)) func(*Suite) (Result, error) {
+	return func(s *Suite) (Result, error) {
+		f, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		return figResult{f}, nil
+	}
+}
+
+// Registry lists every reproducible artifact, paper figures first.
+func Registry() []Runner {
+	return []Runner{
+		{ID: "table1", Desc: "Table I: 64KB SRAM vs STT-MRAM DL1 parameters", Paper: true,
+			Run: func(s *Suite) (Result, error) { t, err := TableI(); return tabResult{t}, err }},
+		{ID: "fig1", Desc: "Fig.1: drop-in STT-MRAM DL1 penalty", Paper: true, Run: fig((*Suite).Fig1)},
+		{ID: "fig3", Desc: "Fig.3: drop-in vs VWB penalty", Paper: true, Run: fig((*Suite).Fig3)},
+		{ID: "fig4", Desc: "Fig.4: read vs write penalty contribution", Paper: true, Run: fig((*Suite).Fig4)},
+		{ID: "fig5", Desc: "Fig.5: VWB with/without code transformations", Paper: true, Run: fig((*Suite).Fig5)},
+		{ID: "fig6", Desc: "Fig.6: per-transformation contribution", Paper: true, Run: fig((*Suite).Fig6)},
+		{ID: "fig7", Desc: "Fig.7: VWB size sweep 1/2/4 Kbit", Paper: true, Run: fig((*Suite).Fig7)},
+		{ID: "fig8", Desc: "Fig.8: proposal vs EMSHR vs L0", Paper: true, Run: fig((*Suite).Fig8)},
+		{ID: "fig9", Desc: "Fig.9: optimization gain, baseline vs proposal", Paper: true, Run: fig((*Suite).Fig9)},
+		{ID: "cells", Desc: "Extension: full cell-library survey",
+			Run: func(s *Suite) (Result, error) { t, err := CellLibrary(); return tabResult{t}, err }},
+		{ID: "ablation-banks", Desc: "Extension: NVM bank-count sweep", Run: fig((*Suite).AblationBanks)},
+		{ID: "ablation-readlat", Desc: "Extension: STT read-latency sweep", Run: fig((*Suite).AblationReadLat)},
+		{ID: "ablation-storebuf", Desc: "Extension: store-buffer depth sweep", Run: fig((*Suite).AblationStoreBuf)},
+		{ID: "ablation-policy", Desc: "Extension: VWB LRU vs FIFO", Run: fig((*Suite).AblationVWBPolicy)},
+		{ID: "ablation-writeasym", Desc: "Extension: write-latency sweep", Run: fig((*Suite).AblationWriteAsym)},
+		{ID: "ablation-icache", Desc: "Extension: STT-MRAM instruction cache (DATE'14 companion)", Run: fig((*Suite).AblationICache)},
+		{ID: "ablation-interchange", Desc: "Extension: loop interchange rescues the column-walk kernels", Run: fig((*Suite).AblationInterchange)},
+		{ID: "energy", Desc: "Extension: DL1 energy model (paper's future work)",
+			Run: func(s *Suite) (Result, error) { t, err := s.EnergyTable(); return tabResult{t}, err }},
+		{ID: "lifetime", Desc: "Extension: STT-MRAM endurance horizon",
+			Run: func(s *Suite) (Result, error) { t, err := s.LifetimeTable(); return tabResult{t}, err }},
+	}
+}
+
+// ByID returns the runner with the given id.
+func ByID(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists registered ids, paper artifacts first then extensions,
+// each group alphabetical.
+func IDs() []string {
+	rs := Registry()
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Paper != rs[j].Paper {
+			return rs[i].Paper
+		}
+		return rs[i].ID < rs[j].ID
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// RunAll executes every registered experiment on the suite, writing each
+// rendered artifact to w.
+func RunAll(s *Suite, w io.Writer) error {
+	for _, r := range Registry() {
+		res, err := r.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Fprintln(w, res.String())
+	}
+	return nil
+}

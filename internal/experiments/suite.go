@@ -1,0 +1,112 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation, plus the extension ablations listed in DESIGN.md §6. Each
+// runner returns structured data (stats.Figure / stats.Table) that the
+// sttexplore CLI and the benchmark harness render.
+package experiments
+
+import (
+	"fmt"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+	"sttdl1/internal/stats"
+)
+
+// Suite runs kernels on configurations with memoization, since several
+// figures share the same underlying simulations (e.g. the unoptimized
+// SRAM baseline appears in Figs. 1, 3, 5 and 9).
+type Suite struct {
+	Benches []polybench.Bench
+	cache   map[string]*sim.RunResult
+	kernels map[string]*compilePair
+	// Verbose, when set, prints one line per completed simulation.
+	Verbose func(format string, args ...any)
+}
+
+type compilePair struct{ bench polybench.Bench }
+
+// NewSuite builds a suite over the given benchmarks (nil = all).
+func NewSuite(benches []polybench.Bench) *Suite {
+	if benches == nil {
+		benches = polybench.All()
+	}
+	return &Suite{
+		Benches: benches,
+		cache:   make(map[string]*sim.RunResult),
+		kernels: make(map[string]*compilePair),
+	}
+}
+
+// optKey folds compile options into a cache key.
+func optKey(o compile.Options) string {
+	return fmt.Sprintf("v%t_p%t_b%t_a%t_i%t_s%d", o.Vectorize, o.Prefetch, o.Branchless, o.Align, o.Interchange, o.PrefetchStreams)
+}
+
+func cfgKey(c sim.Config) string {
+	return fmt.Sprintf("%v_%v_buf%d_bank%d_rl%d_wl%d_pol%v_tc%d_il1%v_%v_cold%t_sb%d_%s",
+		c.DL1Cell, c.FrontEnd, c.BufferBits, c.DL1Banks, c.DL1ReadLat, c.DL1WriteLat,
+		c.VWBPolicy, c.VWBTransfer, c.IL1Cell, c.IL1FrontEnd, c.ColdStart,
+		c.CPU.StoreBufDepth, optKey(c.Compile))
+}
+
+// Run executes bench b under cfg (memoized).
+func (s *Suite) Run(b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
+	key := b.Name + "|" + cfgKey(cfg)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := sim.Run(b.Kernel(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Name, err)
+	}
+	if s.Verbose != nil {
+		s.Verbose("  ran %-10s on %-24s %12d cycles", b.Name, cfg.Name+"/"+optKey(cfg.Compile), r.CPU.Cycles)
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// Cycles is Run reduced to the cycle count.
+func (s *Suite) Cycles(b polybench.Bench, cfg sim.Config) (int64, error) {
+	r, err := s.Run(b, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return r.CPU.Cycles, nil
+}
+
+// penaltySeries computes per-bench penalties of cfg against base.
+func (s *Suite) penaltySeries(base, cfg sim.Config) ([]float64, error) {
+	out := make([]float64, len(s.Benches))
+	for i, b := range s.Benches {
+		bc, err := s.Cycles(b, base)
+		if err != nil {
+			return nil, err
+		}
+		vc, err := s.Cycles(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = stats.Penalty(bc, vc)
+	}
+	return out, nil
+}
+
+func (s *Suite) benchNames() []string {
+	out := make([]string, len(s.Benches))
+	for i, b := range s.Benches {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// withOpts returns cfg with the given compile options and an adjusted
+// name.
+func withOpts(cfg sim.Config, opts compile.Options) sim.Config {
+	cfg.Compile = opts
+	return cfg
+}
+
+// allOpts is the paper's full transformation set.
+func allOpts() compile.Options { return compile.AllOptimizations() }

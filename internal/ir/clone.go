@@ -1,0 +1,86 @@
+package ir
+
+// Clone deep-copies the kernel: arrays (with fresh Base fields) and the
+// statement tree, with every Load/Assign re-pointed at the cloned arrays.
+// Compilation mutates both (layout assigns bases, passes rewrite the
+// tree), so each compile works on its own clone and kernel definitions
+// stay immutable.
+func (k *Kernel) Clone() *Kernel {
+	out := &Kernel{Name: k.Name}
+	amap := make(map[*Array]*Array, len(k.Arrays))
+	for _, a := range k.Arrays {
+		na := &Array{Name: a.Name, Dims: append([]int(nil), a.Dims...), Init: a.Init, Out: a.Out}
+		amap[a] = na
+		out.Arrays = append(out.Arrays, na)
+	}
+	out.Params = append([]Param(nil), k.Params...)
+	out.Body = cloneStmts(k.Body, amap)
+	return out
+}
+
+func cloneStmts(ss []Stmt, amap map[*Array]*Array) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = cloneStmt(s, amap)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt, amap map[*Array]*Array) Stmt {
+	switch st := s.(type) {
+	case Assign:
+		return Assign{Arr: amap[st.Arr], Idx: cloneAffs(st.Idx), RHS: cloneExpr(st.RHS, amap)}
+	case Loop:
+		return Loop{
+			Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step,
+			Body:          cloneStmts(st.Body, amap),
+			Vectorizable:  st.Vectorizable,
+			IVDep:         st.IVDep,
+			InterchangeOK: st.InterchangeOK,
+		}
+	case If:
+		return If{
+			Cond: cloneCond(st.Cond, amap),
+			Then: cloneStmts(st.Then, amap),
+			Else: cloneStmts(st.Else, amap),
+		}
+	case Prefetch:
+		return Prefetch{Arr: amap[st.Arr], Idx: cloneAffs(st.Idx)}
+	default:
+		panic("ir: cloneStmt: unknown statement type")
+	}
+}
+
+func cloneExpr(e Expr, amap map[*Array]*Array) Expr {
+	switch ex := e.(type) {
+	case ConstF, ParamRef:
+		return ex
+	case Load:
+		return Load{Arr: amap[ex.Arr], Idx: cloneAffs(ex.Idx)}
+	case Bin:
+		return Bin{Op: ex.Op, L: cloneExpr(ex.L, amap), R: cloneExpr(ex.R, amap)}
+	case Ternary:
+		return Ternary{
+			Cond: cloneCond(ex.Cond, amap),
+			Then: cloneExpr(ex.Then, amap),
+			Else: cloneExpr(ex.Else, amap),
+		}
+	default:
+		panic("ir: cloneExpr: unknown expression type")
+	}
+}
+
+func cloneCond(c Cond, amap map[*Array]*Array) Cond {
+	return Cond{Op: c.Op, L: cloneExpr(c.L, amap), R: cloneExpr(c.R, amap)}
+}
+
+func cloneAffs(as []Aff) []Aff {
+	out := make([]Aff, len(as))
+	for i, a := range as {
+		out[i] = Aff{Const: a.Const, Terms: append([]Term(nil), a.Terms...)}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Evaluator executes a kernel directly on a flat float32 memory image,
+// with the exact statement order the IR specifies. It is the semantic
+// oracle: compiled ARMlet code (at any optimization level) must produce
+// the same array contents, up to floating-point reassociation introduced
+// by vectorized reductions.
+type Evaluator struct {
+	k    *Kernel
+	data []byte
+	vars map[string]int
+}
+
+// NewEvaluator prepares an evaluator over a data image laid out by
+// Layout and filled by InitData.
+func NewEvaluator(k *Kernel, data []byte) *Evaluator {
+	return &Evaluator{k: k, data: data, vars: make(map[string]int, 8)}
+}
+
+// Run executes the kernel body.
+func (ev *Evaluator) Run() error { return ev.stmts(ev.k.Body) }
+
+func (ev *Evaluator) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := ev.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *Evaluator) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case Assign:
+		v, err := ev.expr(st.RHS)
+		if err != nil {
+			return err
+		}
+		off, err := ev.elemOffset(st.Arr, st.Idx)
+		if err != nil {
+			return err
+		}
+		putF32(ev.data[off:], v)
+		return nil
+	case Loop:
+		lo, err := ev.bound(st.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := ev.bound(st.Hi)
+		if err != nil {
+			return err
+		}
+		step := st.StepOf()
+		if step <= 0 {
+			return fmt.Errorf("ir: loop %s has non-positive step %d", st.Var, step)
+		}
+		saved, had := ev.vars[st.Var]
+		for v := lo; v < hi; v += step {
+			ev.vars[st.Var] = v
+			if err := ev.stmts(st.Body); err != nil {
+				return err
+			}
+		}
+		if had {
+			ev.vars[st.Var] = saved
+		} else {
+			delete(ev.vars, st.Var)
+		}
+		return nil
+	case If:
+		c, err := ev.cond(st.Cond)
+		if err != nil {
+			return err
+		}
+		if c {
+			return ev.stmts(st.Then)
+		}
+		return ev.stmts(st.Else)
+	case Prefetch:
+		return nil // hints have no semantics
+	default:
+		return fmt.Errorf("ir: unknown statement %T", s)
+	}
+}
+
+func (ev *Evaluator) expr(e Expr) (float32, error) {
+	switch ex := e.(type) {
+	case ConstF:
+		return ex.V, nil
+	case ParamRef:
+		v, ok := ev.k.Param(ex.Name)
+		if !ok {
+			return 0, fmt.Errorf("ir: unknown parameter %q", ex.Name)
+		}
+		return v, nil
+	case Load:
+		off, err := ev.elemOffset(ex.Arr, ex.Idx)
+		if err != nil {
+			return 0, err
+		}
+		return getF32(ev.data[off:]), nil
+	case Bin:
+		l, err := ev.expr(ex.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := ev.expr(ex.R)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case Add:
+			return l + r, nil
+		case Sub:
+			return l - r, nil
+		case Mul:
+			return l * r, nil
+		case Div:
+			return l / r, nil
+		case Min:
+			if l < r {
+				return l, nil
+			}
+			return r, nil
+		case Max:
+			if l > r {
+				return l, nil
+			}
+			return r, nil
+		}
+		return 0, fmt.Errorf("ir: unknown binop %d", ex.Op)
+	case Ternary:
+		c, err := ev.cond(ex.Cond)
+		if err != nil {
+			return 0, err
+		}
+		// Predicated semantics: both arms evaluate (like the generated
+		// select code), the condition picks the result.
+		t, err := ev.expr(ex.Then)
+		if err != nil {
+			return 0, err
+		}
+		f, err := ev.expr(ex.Else)
+		if err != nil {
+			return 0, err
+		}
+		if c {
+			return t, nil
+		}
+		return f, nil
+	default:
+		return 0, fmt.Errorf("ir: unknown expression %T", e)
+	}
+}
+
+func (ev *Evaluator) cond(c Cond) (bool, error) {
+	l, err := ev.expr(c.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := ev.expr(c.R)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case LT:
+		return l < r, nil
+	case LE:
+		return l <= r, nil
+	case EQ:
+		return l == r, nil
+	}
+	return false, fmt.Errorf("ir: unknown cmpop %d", c.Op)
+}
+
+func (ev *Evaluator) bound(b Bound) (int, error) {
+	if b.Var == "" {
+		return b.Const, nil
+	}
+	v, ok := ev.vars[b.Var]
+	if !ok {
+		return 0, fmt.Errorf("ir: bound references unknown loop var %q", b.Var)
+	}
+	return v + b.Const, nil
+}
+
+// AffValue evaluates an affine expression under the current loop vars.
+func (ev *Evaluator) affValue(a Aff) (int, error) {
+	v := a.Const
+	for _, t := range a.Terms {
+		val, ok := ev.vars[t.Var]
+		if !ok {
+			return 0, fmt.Errorf("ir: subscript references unknown loop var %q", t.Var)
+		}
+		v += t.Coef * val
+	}
+	return v, nil
+}
+
+func (ev *Evaluator) elemOffset(a *Array, idx []Aff) (uint32, error) {
+	if len(idx) != len(a.Dims) {
+		return 0, fmt.Errorf("ir: array %s indexed with %d subscripts, has %d dims", a.Name, len(idx), len(a.Dims))
+	}
+	strides := a.Strides()
+	elem := 0
+	for d, ix := range idx {
+		v, err := ev.affValue(ix)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v >= a.Dims[d] {
+			return 0, fmt.Errorf("ir: array %s dim %d index %d out of [0,%d)", a.Name, d, v, a.Dims[d])
+		}
+		elem += v * strides[d]
+	}
+	off := a.Base + uint32(4*elem)
+	if int(off)+4 > len(ev.data) {
+		return 0, fmt.Errorf("ir: array %s access at %d beyond data segment %d", a.Name, off, len(ev.data))
+	}
+	return off, nil
+}
+
+func putF32(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
+func getF32(b []byte) float32    { return math.Float32frombits(binary.LittleEndian.Uint32(b)) }
+
+// Reference clones k, lays the clone out with the given options,
+// initializes it, evaluates the kernel, and returns the data image
+// together with the laid-out clone (whose array bases locate results in
+// the image) — a one-call oracle for tests. The argument is never
+// mutated.
+func Reference(k *Kernel, opt LayoutOptions) ([]byte, *Kernel, error) {
+	k = k.Clone()
+	size := Layout(k, opt)
+	data := make([]byte, size)
+	if err := InitData(k, data); err != nil {
+		return nil, nil, err
+	}
+	if err := NewEvaluator(k, data).Run(); err != nil {
+		return nil, nil, err
+	}
+	return data, k, nil
+}

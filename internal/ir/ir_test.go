@@ -1,0 +1,347 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAffAlgebra(t *testing.T) {
+	a := V("i").Plus(VC("j", 2, 3)) // i + 2j + 3
+	if a.Const != 3 || a.CoefOf("i") != 1 || a.CoefOf("j") != 2 {
+		t.Errorf("aff = %+v", a)
+	}
+	b := a.Plus(VC("i", -1, 0)) // 2j + 3: i cancels
+	if b.UsesVar("i") {
+		t.Errorf("i should cancel: %+v", b)
+	}
+	if b.CoefOf("j") != 2 || b.Const != 3 {
+		t.Errorf("b = %+v", b)
+	}
+	c := C(5).AddConst(-2)
+	if c.Const != 3 || len(c.Terms) != 0 {
+		t.Errorf("c = %+v", c)
+	}
+}
+
+func TestAffString(t *testing.T) {
+	cases := []struct {
+		a    Aff
+		want string
+	}{
+		{C(0), "0"},
+		{C(-4), "-4"},
+		{V("i"), "i"},
+		{VC("i", 2, 0), "2*i"},
+		{VC("i", 1, 3), "i+3"},
+		{V("i").Plus(V("j")).AddConst(-1), "i+j-1"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestAffNormalizeProperty(t *testing.T) {
+	f := func(c1, c2 int8, k int8) bool {
+		a := VC("i", int(c1), 0).Plus(VC("i", int(c2), int(k)))
+		return a.CoefOf("i") == int(c1)+int(c2) && a.Const == int(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if BC(7).String() != "7" || BV("i", 0).String() != "i" || BV("i", 1).String() != "i+1" || BV("i", -1).String() != "i-1" {
+		t.Error("bound strings wrong")
+	}
+}
+
+func TestArrayGeometry(t *testing.T) {
+	a := &Array{Name: "A", Dims: []int{3, 4, 5}}
+	if a.Elems() != 60 {
+		t.Errorf("elems = %d", a.Elems())
+	}
+	s := a.Strides()
+	if s[0] != 20 || s[1] != 5 || s[2] != 1 {
+		t.Errorf("strides = %v", s)
+	}
+}
+
+func TestLayoutAlignment(t *testing.T) {
+	mk := func() *Kernel {
+		return &Kernel{Name: "t", Arrays: []*Array{
+			{Name: "a", Dims: []int{3}},
+			{Name: "b", Dims: []int{5}},
+			{Name: "c", Dims: []int{100}},
+		}}
+	}
+	aligned := mk()
+	Layout(aligned, LayoutOptions{Align: true, AlignBytes: 64})
+	for _, arr := range aligned.Arrays {
+		if arr.Base%64 != 0 {
+			t.Errorf("aligned array %s at %d", arr.Name, arr.Base)
+		}
+	}
+	packed := mk()
+	Layout(packed, DefaultLayoutOptions())
+	misaligned := 0
+	for _, arr := range packed.Arrays {
+		if arr.Base%4 != 0 {
+			t.Errorf("packed array %s not word-aligned: %d", arr.Name, arr.Base)
+		}
+		if arr.Base%64 != 0 {
+			misaligned++
+		}
+	}
+	if misaligned == 0 {
+		t.Error("default layout should skew arrays off line boundaries")
+	}
+	// Arrays never overlap.
+	for _, k := range []*Kernel{aligned, packed} {
+		for i, a := range k.Arrays {
+			for _, b := range k.Arrays[i+1:] {
+				aEnd := a.Base + uint32(4*a.Elems())
+				bEnd := b.Base + uint32(4*b.Elems())
+				if a.Base < bEnd && b.Base < aEnd {
+					t.Errorf("arrays %s and %s overlap", a.Name, b.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestInitDataAndReadArray(t *testing.T) {
+	a := &Array{Name: "a", Dims: []int{2, 3}, Init: func(idx []int) float32 {
+		return float32(10*idx[0] + idx[1])
+	}}
+	k := &Kernel{Name: "t", Arrays: []*Array{a}}
+	size := Layout(k, DefaultLayoutOptions())
+	data := make([]byte, size)
+	if err := InitData(k, data); err != nil {
+		t.Fatal(err)
+	}
+	got := ReadArray(a, data)
+	want := []float32{0, 1, 2, 10, 11, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("elem %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInitDataTooSmall(t *testing.T) {
+	a := &Array{Name: "a", Dims: []int{100}, Init: func([]int) float32 { return 1 }}
+	k := &Kernel{Name: "t", Arrays: []*Array{a}}
+	Layout(k, DefaultLayoutOptions())
+	if err := InitData(k, make([]byte, 10)); err == nil {
+		t.Error("undersized data segment must fail")
+	}
+}
+
+// buildSums makes: for i in [0,n): out[i] = a[i] + b[i]*scale.
+func buildSums(n int) *Kernel {
+	a := &Array{Name: "a", Dims: []int{n}, Init: func(i []int) float32 { return float32(i[0]) }}
+	b := &Array{Name: "b", Dims: []int{n}, Init: func(i []int) float32 { return 2 }}
+	out := &Array{Name: "out", Dims: []int{n}, Out: true}
+	return &Kernel{
+		Name:   "sums",
+		Arrays: []*Array{a, b, out},
+		Params: []Param{{Name: "scale", Value: 3}},
+		Body: []Stmt{
+			Loop{Var: "i", Lo: BC(0), Hi: BC(n), Body: []Stmt{
+				Assign{Arr: out, Idx: []Aff{V("i")}, RHS: Bin{Op: Add,
+					L: Load{Arr: a, Idx: []Aff{V("i")}},
+					R: Bin{Op: Mul, L: Load{Arr: b, Idx: []Aff{V("i")}}, R: ParamRef{Name: "scale"}}}},
+			}},
+		},
+	}
+}
+
+func TestEvaluatorBasicKernel(t *testing.T) {
+	data, k, err := Reference(buildSums(10), DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ReadArray(k.Array("out"), data)
+	for i := range out {
+		if want := float32(i) + 6; out[i] != want {
+			t.Errorf("out[%d] = %g, want %g", i, out[i], want)
+		}
+	}
+}
+
+func TestEvaluatorTriangularAndBounds(t *testing.T) {
+	n := 6
+	a := &Array{Name: "a", Dims: []int{n, n}}
+	k := &Kernel{Name: "tri", Arrays: []*Array{a}, Body: []Stmt{
+		Loop{Var: "i", Lo: BC(0), Hi: BC(n), Body: []Stmt{
+			Loop{Var: "j", Lo: BC(0), Hi: BV("i", 1), Body: []Stmt{ // j <= i
+				Assign{Arr: a, Idx: []Aff{V("i"), V("j")}, RHS: ConstF{V: 1}},
+			}},
+		}},
+	}}
+	data, k2, err := Reference(k, DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadArray(k2.Array("a"), data)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := float32(0)
+			if j <= i {
+				want = 1
+			}
+			if got[i*n+j] != want {
+				t.Errorf("a[%d][%d] = %g, want %g", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestEvaluatorIfAndTernary(t *testing.T) {
+	n := 8
+	a := &Array{Name: "a", Dims: []int{n}, Init: func(i []int) float32 { return float32(i[0]) - 4 }}
+	viaIf := &Array{Name: "vi", Dims: []int{n}, Out: true}
+	viaTern := &Array{Name: "vt", Dims: []int{n}, Out: true}
+	k := &Kernel{Name: "relu", Arrays: []*Array{a, viaIf, viaTern}, Body: []Stmt{
+		Loop{Var: "i", Lo: BC(0), Hi: BC(n), Body: []Stmt{
+			If{
+				Cond: Cond{Op: LT, L: Load{Arr: a, Idx: []Aff{V("i")}}, R: ConstF{V: 0}},
+				Then: []Stmt{Assign{Arr: viaIf, Idx: []Aff{V("i")}, RHS: ConstF{V: 0}}},
+				Else: []Stmt{Assign{Arr: viaIf, Idx: []Aff{V("i")}, RHS: Load{Arr: a, Idx: []Aff{V("i")}}}},
+			},
+			Assign{Arr: viaTern, Idx: []Aff{V("i")}, RHS: Ternary{
+				Cond: Cond{Op: LT, L: Load{Arr: a, Idx: []Aff{V("i")}}, R: ConstF{V: 0}},
+				Then: ConstF{V: 0},
+				Else: Load{Arr: a, Idx: []Aff{V("i")}},
+			}},
+		}},
+	}}
+	data, k2, err := Reference(k, DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := ReadArray(k2.Array("vi"), data)
+	gt := ReadArray(k2.Array("vt"), data)
+	for i := 0; i < n; i++ {
+		want := float32(i) - 4
+		if want < 0 {
+			want = 0
+		}
+		if gi[i] != want || gt[i] != want {
+			t.Errorf("relu[%d]: if=%g ternary=%g want %g", i, gi[i], gt[i], want)
+		}
+	}
+}
+
+func TestEvaluatorMinMaxDiv(t *testing.T) {
+	out := &Array{Name: "o", Dims: []int{3}, Out: true}
+	k := &Kernel{Name: "mm", Arrays: []*Array{out}, Body: []Stmt{
+		Assign{Arr: out, Idx: []Aff{C(0)}, RHS: Bin{Op: Min, L: ConstF{V: 2}, R: ConstF{V: -3}}},
+		Assign{Arr: out, Idx: []Aff{C(1)}, RHS: Bin{Op: Max, L: ConstF{V: 2}, R: ConstF{V: -3}}},
+		Assign{Arr: out, Idx: []Aff{C(2)}, RHS: Bin{Op: Div, L: ConstF{V: 7}, R: ConstF{V: 2}}},
+	}}
+	data, k2, err := Reference(k, DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReadArray(k2.Array("o"), data)
+	if got[0] != -3 || got[1] != 2 || got[2] != 3.5 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvaluatorErrors(t *testing.T) {
+	n := 4
+	a := &Array{Name: "a", Dims: []int{n}}
+	oob := &Kernel{Name: "oob", Arrays: []*Array{a}, Body: []Stmt{
+		Assign{Arr: a, Idx: []Aff{C(n)}, RHS: ConstF{V: 1}},
+	}}
+	if _, _, err := Reference(oob, DefaultLayoutOptions()); err == nil {
+		t.Error("out-of-bounds subscript must fail")
+	}
+	unknownVar := &Kernel{Name: "uv", Arrays: []*Array{a}, Body: []Stmt{
+		Assign{Arr: a, Idx: []Aff{V("q")}, RHS: ConstF{V: 1}},
+	}}
+	if _, _, err := Reference(unknownVar, DefaultLayoutOptions()); err == nil {
+		t.Error("unknown loop var must fail")
+	}
+	unknownParam := &Kernel{Name: "up", Arrays: []*Array{a}, Body: []Stmt{
+		Assign{Arr: a, Idx: []Aff{C(0)}, RHS: ParamRef{Name: "nope"}},
+	}}
+	if _, _, err := Reference(unknownParam, DefaultLayoutOptions()); err == nil {
+		t.Error("unknown param must fail")
+	}
+	badDims := &Kernel{Name: "bd", Arrays: []*Array{a}, Body: []Stmt{
+		Assign{Arr: a, Idx: []Aff{C(0), C(0)}, RHS: ConstF{V: 1}},
+	}}
+	if _, _, err := Reference(badDims, DefaultLayoutOptions()); err == nil {
+		t.Error("wrong subscript count must fail")
+	}
+	badStep := &Kernel{Name: "bs", Arrays: []*Array{a}, Body: []Stmt{
+		Loop{Var: "i", Lo: BC(0), Hi: BC(4), Step: -1, Body: []Stmt{
+			Assign{Arr: a, Idx: []Aff{V("i")}, RHS: ConstF{V: 1}},
+		}},
+	}}
+	if _, _, err := Reference(badStep, DefaultLayoutOptions()); err == nil {
+		t.Error("non-positive step must fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	k := buildSums(5)
+	Layout(k, LayoutOptions{Align: true, AlignBytes: 64})
+	basesBefore := map[string]uint32{}
+	for _, a := range k.Arrays {
+		basesBefore[a.Name] = a.Base
+	}
+	c := k.Clone()
+	// Re-layout the clone with the skewed policy: the original must not move.
+	Layout(c, DefaultLayoutOptions())
+	for _, a := range k.Arrays {
+		if a.Base != basesBefore[a.Name] {
+			t.Errorf("original array %s moved after clone layout", a.Name)
+		}
+	}
+	// The clone's loads point at the clone's arrays, not the original's.
+	lp := c.Body[0].(Loop)
+	as := lp.Body[0].(Assign)
+	if as.Arr == k.Array("out") {
+		t.Error("clone shares array pointers with the original")
+	}
+	if as.Arr != c.Array("out") {
+		t.Error("clone's statements must reference the clone's arrays")
+	}
+	// Mutating the clone's tree must not affect the original.
+	lp.Body[0] = Assign{Arr: c.Array("out"), Idx: []Aff{C(0)}, RHS: ConstF{V: 9}}
+	orig := k.Body[0].(Loop).Body[0].(Assign)
+	if _, isConst := orig.RHS.(ConstF); isConst {
+		t.Error("mutating clone body leaked into the original")
+	}
+}
+
+func TestKernelLookups(t *testing.T) {
+	k := buildSums(3)
+	if k.Array("b") == nil || k.Array("nope") != nil {
+		t.Error("Array lookup wrong")
+	}
+	if v, ok := k.Param("scale"); !ok || v != 3 {
+		t.Error("Param lookup wrong")
+	}
+	if _, ok := k.Param("nope"); ok {
+		t.Error("missing param must report !ok")
+	}
+}
+
+func TestLoopStepDefault(t *testing.T) {
+	l := Loop{}
+	if l.StepOf() != 1 {
+		t.Error("zero step must default to 1")
+	}
+	l.Step = 4
+	if l.StepOf() != 4 {
+		t.Error("explicit step")
+	}
+}

@@ -1,0 +1,89 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding: 8 bytes per instruction, little-endian.
+//
+//	byte 0: opcode
+//	byte 1: rd
+//	byte 2: ra
+//	byte 3: rb
+//	bytes 4-7: imm (int32, little-endian)
+//
+// The encoding is bijective on valid instructions: Decode(Encode(i)) == i,
+// enforced by a property test.
+
+// Encode writes the 8-byte encoding of in into buf, which must be at
+// least InstBytes long. It returns an error if the instruction does not
+// validate.
+func Encode(in Inst, buf []byte) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if len(buf) < InstBytes {
+		return fmt.Errorf("isa: encode buffer too short: %d < %d", len(buf), InstBytes)
+	}
+	buf[0] = byte(in.Op)
+	buf[1] = in.Rd
+	buf[2] = in.Ra
+	buf[3] = in.Rb
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(in.Imm))
+	return nil
+}
+
+// Decode parses the 8-byte encoding in buf. It returns an error for
+// illegal opcodes or out-of-range register fields.
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) < InstBytes {
+		return Inst{}, fmt.Errorf("isa: decode buffer too short: %d < %d", len(buf), InstBytes)
+	}
+	in := Inst{
+		Op:  Opcode(buf[0]),
+		Rd:  buf[1],
+		Ra:  buf[2],
+		Rb:  buf[3],
+		Imm: int32(binary.LittleEndian.Uint32(buf[4:8])),
+	}
+	if err := in.Validate(); err != nil {
+		return Inst{}, err
+	}
+	return in, nil
+}
+
+// EncodeProgram serializes all instructions of p.
+func EncodeProgram(p *Program) ([]byte, error) {
+	out := make([]byte, len(p.Insts)*InstBytes)
+	for i, in := range p.Insts {
+		if err := Encode(in, out[i*InstBytes:]); err != nil {
+			return nil, fmt.Errorf("inst %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// DecodeProgram parses a byte image produced by EncodeProgram.
+func DecodeProgram(img []byte) (*Program, error) {
+	if len(img)%InstBytes != 0 {
+		return nil, fmt.Errorf("isa: program image length %d not a multiple of %d", len(img), InstBytes)
+	}
+	p := &Program{Insts: make([]Inst, len(img)/InstBytes)}
+	for i := range p.Insts {
+		in, err := Decode(img[i*InstBytes:])
+		if err != nil {
+			return nil, fmt.Errorf("inst %d: %w", i, err)
+		}
+		p.Insts[i] = in
+	}
+	return p, nil
+}
+
+// F32FromBits reinterprets the immediate bit pattern as a float32
+// (used by FMOVI).
+func F32FromBits(imm int32) float32 { return math.Float32frombits(uint32(imm)) }
+
+// BitsFromF32 returns the immediate encoding of a float32 constant.
+func BitsFromF32(f float32) int32 { return int32(math.Float32bits(f)) }

@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Inst is one decoded ARMlet instruction.
+//
+// The Rd/Ra/Rb fields index the register file named by the opcode's
+// metadata (integer, float, or vector). Imm is a 32-bit immediate whose
+// meaning depends on the format: an ALU constant, a byte offset for
+// memory operations, a shift amount for indexed addressing, float32 bits
+// for FMOVI, or a PC-relative instruction offset for branches.
+type Inst struct {
+	Op         Opcode
+	Rd, Ra, Rb Reg
+	Imm        int32
+}
+
+// Errors returned by Inst.Validate and the codec.
+var (
+	ErrBadOpcode   = errors.New("isa: invalid opcode")
+	ErrBadRegister = errors.New("isa: register index out of range")
+)
+
+func regLimit(c RegClass) uint8 {
+	switch c {
+	case RCInt:
+		return NumIntRegs
+	case RCFP:
+		return NumFPRegs
+	case RCVec:
+		return NumVecRegs
+	default:
+		return 0
+	}
+}
+
+func checkReg(c RegClass, r Reg, field string, op Opcode) error {
+	if c == RCNone {
+		if r != 0 {
+			return fmt.Errorf("%w: %s: unused field %s must be 0, got %d", ErrBadRegister, op, field, r)
+		}
+		return nil
+	}
+	if r >= regLimit(c) {
+		return fmt.Errorf("%w: %s: %s=%d exceeds register file", ErrBadRegister, op, field, r)
+	}
+	return nil
+}
+
+// Validate checks that the opcode is legal and every register field is in
+// range for its register class. Unused register fields must be zero so
+// that each instruction has exactly one encoding.
+func (in Inst) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("%w: %d", ErrBadOpcode, uint8(in.Op))
+	}
+	info := in.Op.Info()
+	if err := checkReg(info.DstClass, in.Rd, "rd", in.Op); err != nil {
+		return err
+	}
+	if err := checkReg(info.SrcAClass, in.Ra, "ra", in.Op); err != nil {
+		return err
+	}
+	if err := checkReg(info.SrcBClass, in.Rb, "rb", in.Op); err != nil {
+		return err
+	}
+	return nil
+}
+
+func regName(c RegClass, r Reg) string {
+	switch c {
+	case RCInt:
+		return IntRegName(r)
+	case RCFP:
+		return FPRegName(r)
+	case RCVec:
+		return VecRegName(r)
+	}
+	return "?"
+}
+
+// String disassembles the instruction into assembler syntax, e.g.
+// "add r1, r2, r3" or "fldr f0, [r4, #16]".
+func (in Inst) String() string {
+	info := in.Op.Info()
+	switch info.Fmt {
+	case FmtNone:
+		return info.Name
+	case FmtRRR:
+		return fmt.Sprintf("%s %s, %s, %s", info.Name,
+			regName(info.DstClass, in.Rd), regName(info.SrcAClass, in.Ra), regName(info.SrcBClass, in.Rb))
+	case FmtRRI:
+		return fmt.Sprintf("%s %s, %s, #%d", info.Name,
+			regName(info.DstClass, in.Rd), regName(info.SrcAClass, in.Ra), in.Imm)
+	case FmtRI:
+		if in.Op == OpFMOVI {
+			return fmt.Sprintf("%s %s, #%g", info.Name, regName(info.DstClass, in.Rd), F32FromBits(in.Imm))
+		}
+		return fmt.Sprintf("%s %s, #%d", info.Name, regName(info.DstClass, in.Rd), in.Imm)
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", info.Name,
+			regName(info.DstClass, in.Rd), regName(info.SrcAClass, in.Ra))
+	case FmtMem:
+		return fmt.Sprintf("%s %s, [%s, #%d]", info.Name,
+			regName(info.DstClass, in.Rd), IntRegName(in.Ra), in.Imm)
+	case FmtMemX:
+		return fmt.Sprintf("%s %s, [%s, %s, lsl #%d]", info.Name,
+			regName(info.DstClass, in.Rd), IntRegName(in.Ra), IntRegName(in.Rb), in.Imm)
+	case FmtPLD:
+		return fmt.Sprintf("%s [%s, #%d]", info.Name, IntRegName(in.Ra), in.Imm)
+	case FmtBr:
+		return fmt.Sprintf("%s %+d", info.Name, in.Imm)
+	case FmtBrCmp:
+		return fmt.Sprintf("%s %s, %s, %+d", info.Name, IntRegName(in.Ra), IntRegName(in.Rb), in.Imm)
+	case FmtJmpReg:
+		return fmt.Sprintf("%s %s", info.Name, IntRegName(in.Ra))
+	}
+	return fmt.Sprintf("%s ???", info.Name)
+}
+
+// BranchTarget returns the absolute instruction index this branch jumps to
+// when taken, given its own index pc. It is meaningful only for PC-relative
+// branches (B, BEQ, BNE, BLT, BGE, BL).
+func (in Inst) BranchTarget(pc int) int { return pc + 1 + int(in.Imm) }
+
+// Program is a sequence of instructions starting at instruction index 0.
+type Program struct {
+	Insts []Inst
+	// Name labels the program in stats output.
+	Name string
+	// DataSize is the number of bytes of the data segment the program
+	// expects to be mapped starting at address 0.
+	DataSize int
+}
+
+// Validate checks every instruction and that branch targets stay inside
+// the program.
+func (p *Program) Validate() error {
+	for pc, in := range p.Insts {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("inst %d: %w", pc, err)
+		}
+		if in.Op.IsBranch() && in.Op != OpJR && in.Op != OpHALT {
+			t := in.BranchTarget(pc)
+			if t < 0 || t > len(p.Insts) {
+				return fmt.Errorf("inst %d (%s): branch target %d outside program [0,%d]", pc, in, t, len(p.Insts))
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line with
+// its index.
+func (p *Program) Disassemble() string {
+	out := make([]byte, 0, len(p.Insts)*24)
+	for pc, in := range p.Insts {
+		out = append(out, fmt.Sprintf("%5d: %s\n", pc, in)...)
+	}
+	return string(out)
+}

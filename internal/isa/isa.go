@@ -1,0 +1,72 @@
+// Package isa defines ARMlet, the 32-bit RISC instruction set executed by
+// the timing simulator in internal/cpu.
+//
+// ARMlet is a stand-in for the ARM user-mode subset that gem5's SE mode
+// executes in the paper. It is deliberately small but complete enough to
+// express the PolyBench kernels and every code transformation the paper
+// applies (vectorization, software prefetch, branch removal via select,
+// alignment): scalar integer and float32 arithmetic, 4-lane float32 SIMD,
+// base+offset and base+index addressing, compare-and-set plus conditional
+// select, and a PLD software-prefetch instruction.
+//
+// Architectural state:
+//
+//   - 32 integer registers R0..R31. R31 (ZR) is hardwired to zero,
+//     R30 (SP) is the stack pointer by convention, R29 (LR) the link
+//     register written by BL.
+//   - 32 scalar float32 registers F0..F31.
+//   - 16 vector registers V0..V15, each four float32 lanes (VecLanes).
+//   - A program counter, in units of instructions.
+//
+// Instructions are fixed-width: 8 bytes in the binary encoding
+// (see codec.go), [op:8][rd:8][ra:8][rb:8][imm:32] little-endian.
+package isa
+
+import "fmt"
+
+// VecLanes is the number of float32 lanes in a vector register. The paper's
+// vectorization example ("four additions at once") fixes it at 4.
+const VecLanes = 4
+
+// VecBytes is the width of a vector memory access in bytes.
+const VecBytes = VecLanes * 4
+
+// InstBytes is the size of one encoded instruction in bytes. Instruction
+// fetch pulls this many bytes per instruction through the IL1.
+const InstBytes = 8
+
+// Register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumVecRegs = 16
+)
+
+// Conventional integer register roles.
+const (
+	ZR = 31 // hardwired zero
+	SP = 30 // stack pointer (convention only)
+	LR = 29 // link register, written by BL
+)
+
+// Reg is an integer register number (0..31).
+type Reg = uint8
+
+// IntRegName returns the assembler name of integer register r.
+func IntRegName(r Reg) string {
+	switch r {
+	case ZR:
+		return "zr"
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// FPRegName returns the assembler name of float register r.
+func FPRegName(r Reg) string { return fmt.Sprintf("f%d", r) }
+
+// VecRegName returns the assembler name of vector register r.
+func VecRegName(r Reg) string { return fmt.Sprintf("v%d", r) }

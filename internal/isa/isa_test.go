@@ -1,0 +1,293 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterNames(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{IntRegName(0), "r0"},
+		{IntRegName(12), "r12"},
+		{IntRegName(ZR), "zr"},
+		{IntRegName(SP), "sp"},
+		{IntRegName(LR), "lr"},
+		{FPRegName(7), "f7"},
+		{VecRegName(15), "v15"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestOpcodeMetadataComplete(t *testing.T) {
+	for op := OpInvalid + 1; int(op) < NumOpcodes; op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if got, ok := OpByName(info.Name); !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", info.Name, got, ok, op)
+		}
+		if info.Mem != 0 && info.AccessBytes <= 0 {
+			t.Errorf("%s: memory op with no access size", op)
+		}
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	if !OpLDR.IsLoad() || OpLDR.IsStore() {
+		t.Error("LDR must be a load")
+	}
+	if !OpVSTR.IsStore() || OpVSTR.IsLoad() {
+		t.Error("VSTR must be a store")
+	}
+	if !OpPLD.IsPrefetch() || !OpPLD.IsMem() {
+		t.Error("PLD must be a prefetch memory op")
+	}
+	if !OpBEQ.IsBranch() || !OpBEQ.IsCondBranch() {
+		t.Error("BEQ must be a conditional branch")
+	}
+	if OpB.IsCondBranch() {
+		t.Error("B is unconditional")
+	}
+	if !OpHALT.IsBranch() {
+		t.Error("HALT ends control flow")
+	}
+	if !OpVFMA.IsVector() || OpADD.IsVector() {
+		t.Error("vector classification wrong")
+	}
+	if got := OpVLDR.Info().AccessBytes; got != VecBytes {
+		t.Errorf("VLDR access bytes = %d, want %d", got, VecBytes)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpADD.String() != "add" {
+		t.Errorf("OpADD.String() = %q", OpADD.String())
+	}
+	if s := Opcode(250).String(); !strings.Contains(s, "250") {
+		t.Errorf("unknown opcode string %q", s)
+	}
+	if Opcode(250).Valid() {
+		t.Error("opcode 250 must be invalid")
+	}
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must be invalid")
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	valid := []Inst{
+		{Op: OpADD, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpMOVI, Rd: 31, Imm: -5},
+		{Op: OpFLDR, Rd: 31, Ra: 30, Imm: 64},
+		{Op: OpVSPLAT, Rd: 15, Ra: 31},
+		{Op: OpHALT},
+		{Op: OpB, Imm: -3},
+	}
+	for _, in := range valid {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", in, err)
+		}
+	}
+	invalid := []Inst{
+		{Op: OpInvalid},
+		{Op: Opcode(200), Rd: 1},
+		{Op: OpVADD, Rd: 16, Ra: 0, Rb: 0}, // vector reg out of range
+		{Op: OpADD, Rd: 32, Ra: 0, Rb: 0},  // int reg out of range
+		{Op: OpNOP, Rd: 1},                 // unused field must be zero
+		{Op: OpMOVI, Rd: 0, Ra: 3},         // unused Ra must be zero
+		{Op: OpVSPLAT, Rd: 0, Ra: 32},      // fp source out of range
+	}
+	for _, in := range invalid {
+		if err := in.Validate(); err == nil {
+			t.Errorf("%+v: expected validation error", in)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADD, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpADDI, Rd: 1, Ra: ZR, Imm: -7}, "addi r1, zr, #-7"},
+		{Inst{Op: OpMOVI, Rd: 4, Imm: 100}, "movi r4, #100"},
+		{Inst{Op: OpFMOVI, Rd: 2, Imm: BitsFromF32(1.5)}, "fmovi f2, #1.5"},
+		{Inst{Op: OpFADD, Rd: 0, Ra: 1, Rb: 2}, "fadd f0, f1, f2"},
+		{Inst{Op: OpFLDR, Rd: 3, Ra: 4, Imm: 16}, "fldr f3, [r4, #16]"},
+		{Inst{Op: OpLDRX, Rd: 3, Ra: 4, Rb: 5, Imm: 2}, "ldrx r3, [r4, r5, lsl #2]"},
+		{Inst{Op: OpPLD, Ra: 6, Imm: 64}, "pld [r6, #64]"},
+		{Inst{Op: OpB, Imm: -2}, "b -2"},
+		{Inst{Op: OpBEQ, Ra: 1, Rb: ZR, Imm: 3}, "beq r1, zr, +3"},
+		{Inst{Op: OpJR, Ra: LR}, "jr lr"},
+		{Inst{Op: OpVSUM, Rd: 1, Ra: 2}, "vsum f1, v2"},
+		{Inst{Op: OpHALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Inst{Op: OpB, Imm: 5}
+	if got := in.BranchTarget(10); got != 16 {
+		t.Errorf("target = %d, want 16", got)
+	}
+	in = Inst{Op: OpBNE, Imm: -4}
+	if got := in.BranchTarget(10); got != 7 {
+		t.Errorf("target = %d, want 7", got)
+	}
+}
+
+// randomValidInst builds an arbitrary valid instruction.
+func randomValidInst(r *rand.Rand) Inst {
+	for {
+		op := Opcode(1 + r.Intn(NumOpcodes-1))
+		info := op.Info()
+		in := Inst{Op: op, Imm: int32(r.Uint32())}
+		pick := func(c RegClass) Reg {
+			switch c {
+			case RCInt:
+				return Reg(r.Intn(NumIntRegs))
+			case RCFP:
+				return Reg(r.Intn(NumFPRegs))
+			case RCVec:
+				return Reg(r.Intn(NumVecRegs))
+			}
+			return 0
+		}
+		in.Rd = pick(info.DstClass)
+		in.Ra = pick(info.SrcAClass)
+		in.Rb = pick(info.SrcBClass)
+		if in.Validate() == nil {
+			return in
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomValidInst(r)
+		var buf [InstBytes]byte
+		if err := Encode(in, buf[:]); err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		out, err := Decode(buf[:])
+		if err != nil {
+			t.Logf("decode %v: %v", in, err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	var buf [InstBytes]byte
+	if err := Encode(Inst{Op: OpInvalid}, buf[:]); err == nil {
+		t.Error("encoding invalid opcode must fail")
+	}
+	if err := Encode(Inst{Op: OpADD}, buf[:4]); err == nil {
+		t.Error("short buffer must fail")
+	}
+	if _, err := Decode(buf[:4]); err == nil {
+		t.Error("short decode must fail")
+	}
+	buf = [InstBytes]byte{} // opcode 0 = invalid
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("decoding zeroes must fail (OpInvalid)")
+	}
+}
+
+func TestProgramCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := &Program{Name: "t"}
+	for i := 0; i < 200; i++ {
+		in := randomValidInst(r)
+		if in.Op.IsBranch() {
+			in = Inst{Op: OpNOP} // keep Validate happy about targets
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	img, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != len(p.Insts)*InstBytes {
+		t.Fatalf("image size %d", len(img))
+	}
+	q, err := DecodeProgram(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Insts) != len(p.Insts) {
+		t.Fatalf("decoded %d instructions, want %d", len(q.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != q.Insts[i] {
+			t.Fatalf("inst %d: %v != %v", i, p.Insts[i], q.Insts[i])
+		}
+	}
+	if _, err := DecodeProgram(img[:len(img)-3]); err == nil {
+		t.Error("truncated image must fail")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	ok := &Program{Insts: []Inst{
+		{Op: OpMOVI, Rd: 0, Imm: 1},
+		{Op: OpB, Imm: 0}, // falls through to halt
+		{Op: OpHALT},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	bad := &Program{Insts: []Inst{
+		{Op: OpB, Imm: 100},
+		{Op: OpHALT},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range branch target must be rejected")
+	}
+	neg := &Program{Insts: []Inst{
+		{Op: OpB, Imm: -5},
+		{Op: OpHALT},
+	}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative out-of-range branch target must be rejected")
+	}
+}
+
+func TestDisassembleListing(t *testing.T) {
+	p := &Program{Insts: []Inst{
+		{Op: OpMOVI, Rd: 0, Imm: 7},
+		{Op: OpHALT},
+	}}
+	text := p.Disassemble()
+	if !strings.Contains(text, "movi r0, #7") || !strings.Contains(text, "halt") {
+		t.Errorf("disassembly missing instructions:\n%s", text)
+	}
+}
+
+func TestF32Bits(t *testing.T) {
+	for _, v := range []float32{0, 1, -1.5, 3.14159, 1e-7} {
+		if got := F32FromBits(BitsFromF32(v)); got != v {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package isa
+
+import "fmt"
+
+// Opcode identifies an ARMlet instruction.
+type Opcode uint8
+
+// Opcode space. The zero value is deliberately invalid so that
+// zero-initialized memory decodes to an illegal instruction.
+const (
+	OpInvalid Opcode = iota
+
+	// Integer register-register ALU.
+	OpADD // rd = ra + rb
+	OpSUB // rd = ra - rb
+	OpMUL // rd = ra * rb
+	OpDIV // rd = ra / rb (signed; rb==0 faults)
+	OpREM // rd = ra % rb (signed; rb==0 faults)
+	OpAND // rd = ra & rb
+	OpORR // rd = ra | rb
+	OpEOR // rd = ra ^ rb
+	OpLSL // rd = ra << (rb & 31)
+	OpLSR // rd = uint32(ra) >> (rb & 31)
+	OpASR // rd = ra >> (rb & 31)
+
+	// Integer register-immediate ALU.
+	OpADDI // rd = ra + imm
+	OpSUBI // rd = ra - imm
+	OpMULI // rd = ra * imm
+	OpANDI // rd = ra & imm
+	OpORRI // rd = ra | imm
+	OpEORI // rd = ra ^ imm
+	OpLSLI // rd = ra << (imm & 31)
+	OpLSRI // rd = uint32(ra) >> (imm & 31)
+	OpASRI // rd = ra >> (imm & 31)
+	OpMOVI // rd = imm
+
+	// Integer compare-and-set (RISC style; enables branchless code).
+	OpSLT  // rd = (ra < rb) ? 1 : 0 (signed)
+	OpSLTU // rd = (uint32(ra) < uint32(rb)) ? 1 : 0
+	OpSLTI // rd = (ra < imm) ? 1 : 0 (signed)
+	OpSEQ  // rd = (ra == rb) ? 1 : 0
+	OpSNE  // rd = (ra != rb) ? 1 : 0
+	OpSEL  // rd = (ra != 0) ? rb : rd  (conditional select; rd is also a source)
+
+	// Scalar float32.
+	OpFADD  // fd = fa + fb
+	OpFSUB  // fd = fa - fb
+	OpFMUL  // fd = fa * fb
+	OpFDIV  // fd = fa / fb
+	OpFNEG  // fd = -fa
+	OpFABS  // fd = |fa|
+	OpFMAX  // fd = max(fa, fb)
+	OpFMIN  // fd = min(fa, fb)
+	OpFMOV  // fd = fa
+	OpFMOVI // fd = float32 from imm bits
+	OpFCVT  // fd = float32(ra)  (int reg -> float reg)
+	OpFTOI  // rd = int32(fa)    (float reg -> int reg, truncating)
+	OpFSLT  // rd = (fa < fb) ? 1 : 0   (int dest)
+	OpFSLE  // rd = (fa <= fb) ? 1 : 0  (int dest)
+	OpFSEQ  // rd = (fa == fb) ? 1 : 0  (int dest)
+	OpFSEL  // fd = (ra != 0) ? fb : fd (int cond reg; fd also a source)
+
+	// Vector (4 x float32 lanes).
+	OpVADD   // vd = va + vb, lane-wise
+	OpVSUB   // vd = va - vb
+	OpVMUL   // vd = va * vb
+	OpVDIV   // vd = va / vb
+	OpVFMA   // vd = vd + va*vb (vd is also a source)
+	OpVMIN   // vd = min(va, vb), lane-wise
+	OpVMAX   // vd = max(va, vb), lane-wise
+	OpVMOV   // vd = va
+	OpVSPLAT // vd = broadcast(fa)
+	OpVSUM   // fd = va[0]+va[1]+va[2]+va[3] (horizontal reduce, float dest)
+	OpVSEL   // vd = (ra != 0) ? vb : vd (int cond reg; vd also a source)
+	OpVCLT   // vd[l] = (va[l] < vb[l])  ? 1.0 : 0.0 (lane mask)
+	OpVCLE   // vd[l] = (va[l] <= vb[l]) ? 1.0 : 0.0
+	OpVCEQ   // vd[l] = (va[l] == vb[l]) ? 1.0 : 0.0
+	OpVSELM  // vd[l] = (va[l] != 0) ? vb[l] : vd[l] (vector mask; vd also a source)
+
+	// Memory. Addresses are byte addresses; LDR/STR move 4 bytes,
+	// VLDR/VSTR move 16. Base+offset: addr = ra + imm.
+	// Indexed: addr = ra + (rb << imm).
+	OpLDR   // rd = mem32[ra + imm]
+	OpSTR   // mem32[ra + imm] = rd
+	OpLDRX  // rd = mem32[ra + rb<<imm]
+	OpSTRX  // mem32[ra + rb<<imm] = rd
+	OpFLDR  // fd = memf32[ra + imm]
+	OpFSTR  // memf32[ra + imm] = fd
+	OpFLDRX // fd = memf32[ra + rb<<imm]
+	OpFSTRX // memf32[ra + rb<<imm] = fd
+	OpVLDR  // vd = memv[ra + imm] (16 bytes)
+	OpVSTR  // memv[ra + imm] = vd
+	OpVLDRX // vd = memv[ra + rb<<imm]
+	OpVSTRX // memv[ra + rb<<imm] = vd
+	OpPLD   // software prefetch of line containing (ra + imm); never faults
+
+	// Control. Branch targets are PC-relative instruction counts in imm
+	// (target = pc + 1 + imm).
+	OpB    // unconditional branch
+	OpBEQ  // branch if ra == rb
+	OpBNE  // branch if ra != rb
+	OpBLT  // branch if ra < rb (signed)
+	OpBGE  // branch if ra >= rb (signed)
+	OpBL   // LR = pc + 1; branch
+	OpJR   // pc = ra (absolute, instruction index)
+	OpNOP  // no operation
+	OpHALT // stop the machine
+
+	numOpcodes // sentinel; keep last
+)
+
+// NumOpcodes is the number of defined opcodes including OpInvalid.
+const NumOpcodes = int(numOpcodes)
+
+// Fmt describes how an instruction's operand fields are used, for the
+// disassembler, the assembler, and operand validation.
+type Fmt uint8
+
+const (
+	FmtNone   Fmt = iota // no operands (NOP, HALT)
+	FmtRRR               // rd, ra, rb
+	FmtRRI               // rd, ra, imm
+	FmtRI                // rd, imm
+	FmtRR                // rd, ra
+	FmtMem               // rd, [ra, #imm]
+	FmtMemX              // rd, [ra, rb, lsl #imm]
+	FmtPLD               // [ra, #imm]
+	FmtBr                // imm (pc-relative)
+	FmtBrCmp             // ra, rb, imm
+	FmtJmpReg            // ra
+)
+
+// RegClass identifies which register file an operand field indexes.
+type RegClass uint8
+
+const (
+	RCNone RegClass = iota
+	RCInt
+	RCFP
+	RCVec
+)
+
+// OpInfo is static metadata about an opcode.
+type OpInfo struct {
+	Name string
+	Fmt  Fmt
+	// Register classes of the rd / ra / rb fields (RCNone if unused).
+	DstClass, SrcAClass, SrcBClass RegClass
+	// DstIsSrc marks read-modify-write destinations (SEL, FSEL, VSEL, VFMA).
+	DstIsSrc bool
+	// Mem classifies memory behaviour: 0 none, 'l' load, 's' store, 'p' prefetch.
+	Mem byte
+	// AccessBytes is the memory access width for memory ops.
+	AccessBytes int
+	// Branch marks control-flow instructions (including BL/JR/HALT).
+	Branch bool
+}
+
+var opInfos = [NumOpcodes]OpInfo{
+	OpInvalid: {Name: "invalid", Fmt: FmtNone},
+
+	OpADD: {Name: "add", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpSUB: {Name: "sub", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpMUL: {Name: "mul", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpDIV: {Name: "div", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpREM: {Name: "rem", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpAND: {Name: "and", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpORR: {Name: "orr", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpEOR: {Name: "eor", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpLSL: {Name: "lsl", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpLSR: {Name: "lsr", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpASR: {Name: "asr", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+
+	OpADDI: {Name: "addi", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpSUBI: {Name: "subi", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpMULI: {Name: "muli", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpANDI: {Name: "andi", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpORRI: {Name: "orri", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpEORI: {Name: "eori", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpLSLI: {Name: "lsli", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpLSRI: {Name: "lsri", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpASRI: {Name: "asri", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpMOVI: {Name: "movi", Fmt: FmtRI, DstClass: RCInt},
+
+	OpSLT:  {Name: "slt", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpSLTU: {Name: "sltu", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpSLTI: {Name: "slti", Fmt: FmtRRI, DstClass: RCInt, SrcAClass: RCInt},
+	OpSEQ:  {Name: "seq", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpSNE:  {Name: "sne", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt},
+	OpSEL:  {Name: "sel", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt, DstIsSrc: true},
+
+	OpFADD:  {Name: "fadd", Fmt: FmtRRR, DstClass: RCFP, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFSUB:  {Name: "fsub", Fmt: FmtRRR, DstClass: RCFP, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFMUL:  {Name: "fmul", Fmt: FmtRRR, DstClass: RCFP, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFDIV:  {Name: "fdiv", Fmt: FmtRRR, DstClass: RCFP, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFNEG:  {Name: "fneg", Fmt: FmtRR, DstClass: RCFP, SrcAClass: RCFP},
+	OpFABS:  {Name: "fabs", Fmt: FmtRR, DstClass: RCFP, SrcAClass: RCFP},
+	OpFMAX:  {Name: "fmax", Fmt: FmtRRR, DstClass: RCFP, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFMIN:  {Name: "fmin", Fmt: FmtRRR, DstClass: RCFP, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFMOV:  {Name: "fmov", Fmt: FmtRR, DstClass: RCFP, SrcAClass: RCFP},
+	OpFMOVI: {Name: "fmovi", Fmt: FmtRI, DstClass: RCFP},
+	OpFCVT:  {Name: "fcvt", Fmt: FmtRR, DstClass: RCFP, SrcAClass: RCInt},
+	OpFTOI:  {Name: "ftoi", Fmt: FmtRR, DstClass: RCInt, SrcAClass: RCFP},
+	OpFSLT:  {Name: "fslt", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFSLE:  {Name: "fsle", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFSEQ:  {Name: "fseq", Fmt: FmtRRR, DstClass: RCInt, SrcAClass: RCFP, SrcBClass: RCFP},
+	OpFSEL:  {Name: "fsel", Fmt: FmtRRR, DstClass: RCFP, SrcAClass: RCInt, SrcBClass: RCFP, DstIsSrc: true},
+
+	OpVADD:   {Name: "vadd", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVSUB:   {Name: "vsub", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVMUL:   {Name: "vmul", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVDIV:   {Name: "vdiv", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVFMA:   {Name: "vfma", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec, DstIsSrc: true},
+	OpVMIN:   {Name: "vmin", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVMAX:   {Name: "vmax", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVMOV:   {Name: "vmov", Fmt: FmtRR, DstClass: RCVec, SrcAClass: RCVec},
+	OpVSPLAT: {Name: "vsplat", Fmt: FmtRR, DstClass: RCVec, SrcAClass: RCFP},
+	OpVSUM:   {Name: "vsum", Fmt: FmtRR, DstClass: RCFP, SrcAClass: RCVec},
+	OpVSEL:   {Name: "vsel", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCInt, SrcBClass: RCVec, DstIsSrc: true},
+	OpVCLT:   {Name: "vclt", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVCLE:   {Name: "vcle", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVCEQ:   {Name: "vceq", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec},
+	OpVSELM:  {Name: "vselm", Fmt: FmtRRR, DstClass: RCVec, SrcAClass: RCVec, SrcBClass: RCVec, DstIsSrc: true},
+
+	OpLDR:   {Name: "ldr", Fmt: FmtMem, DstClass: RCInt, SrcAClass: RCInt, Mem: 'l', AccessBytes: 4},
+	OpSTR:   {Name: "str", Fmt: FmtMem, DstClass: RCInt, SrcAClass: RCInt, DstIsSrc: true, Mem: 's', AccessBytes: 4},
+	OpLDRX:  {Name: "ldrx", Fmt: FmtMemX, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt, Mem: 'l', AccessBytes: 4},
+	OpSTRX:  {Name: "strx", Fmt: FmtMemX, DstClass: RCInt, SrcAClass: RCInt, SrcBClass: RCInt, DstIsSrc: true, Mem: 's', AccessBytes: 4},
+	OpFLDR:  {Name: "fldr", Fmt: FmtMem, DstClass: RCFP, SrcAClass: RCInt, Mem: 'l', AccessBytes: 4},
+	OpFSTR:  {Name: "fstr", Fmt: FmtMem, DstClass: RCFP, SrcAClass: RCInt, DstIsSrc: true, Mem: 's', AccessBytes: 4},
+	OpFLDRX: {Name: "fldrx", Fmt: FmtMemX, DstClass: RCFP, SrcAClass: RCInt, SrcBClass: RCInt, Mem: 'l', AccessBytes: 4},
+	OpFSTRX: {Name: "fstrx", Fmt: FmtMemX, DstClass: RCFP, SrcAClass: RCInt, SrcBClass: RCInt, DstIsSrc: true, Mem: 's', AccessBytes: 4},
+	OpVLDR:  {Name: "vldr", Fmt: FmtMem, DstClass: RCVec, SrcAClass: RCInt, Mem: 'l', AccessBytes: VecBytes},
+	OpVSTR:  {Name: "vstr", Fmt: FmtMem, DstClass: RCVec, SrcAClass: RCInt, DstIsSrc: true, Mem: 's', AccessBytes: VecBytes},
+	OpVLDRX: {Name: "vldrx", Fmt: FmtMemX, DstClass: RCVec, SrcAClass: RCInt, SrcBClass: RCInt, Mem: 'l', AccessBytes: VecBytes},
+	OpVSTRX: {Name: "vstrx", Fmt: FmtMemX, DstClass: RCVec, SrcAClass: RCInt, SrcBClass: RCInt, DstIsSrc: true, Mem: 's', AccessBytes: VecBytes},
+	OpPLD:   {Name: "pld", Fmt: FmtPLD, SrcAClass: RCInt, Mem: 'p', AccessBytes: 4},
+
+	OpB:    {Name: "b", Fmt: FmtBr, Branch: true},
+	OpBEQ:  {Name: "beq", Fmt: FmtBrCmp, SrcAClass: RCInt, SrcBClass: RCInt, Branch: true},
+	OpBNE:  {Name: "bne", Fmt: FmtBrCmp, SrcAClass: RCInt, SrcBClass: RCInt, Branch: true},
+	OpBLT:  {Name: "blt", Fmt: FmtBrCmp, SrcAClass: RCInt, SrcBClass: RCInt, Branch: true},
+	OpBGE:  {Name: "bge", Fmt: FmtBrCmp, SrcAClass: RCInt, SrcBClass: RCInt, Branch: true},
+	OpBL:   {Name: "bl", Fmt: FmtBr, Branch: true},
+	OpJR:   {Name: "jr", Fmt: FmtJmpReg, SrcAClass: RCInt, Branch: true},
+	OpNOP:  {Name: "nop", Fmt: FmtNone},
+	OpHALT: {Name: "halt", Fmt: FmtNone, Branch: true},
+}
+
+// Info returns the static metadata for op. Unknown opcodes return the
+// OpInvalid metadata.
+func (op Opcode) Info() OpInfo {
+	if int(op) >= NumOpcodes {
+		return opInfos[OpInvalid]
+	}
+	return opInfos[op]
+}
+
+// Valid reports whether op is a defined, legal opcode.
+func (op Opcode) Valid() bool { return op > OpInvalid && int(op) < NumOpcodes }
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string {
+	if int(op) >= NumOpcodes {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opInfos[op].Name
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Opcode) IsLoad() bool { return op.Info().Mem == 'l' }
+
+// IsStore reports whether op writes data memory.
+func (op Opcode) IsStore() bool { return op.Info().Mem == 's' }
+
+// IsPrefetch reports whether op is a software prefetch.
+func (op Opcode) IsPrefetch() bool { return op.Info().Mem == 'p' }
+
+// IsMem reports whether op accesses data memory (including prefetch).
+func (op Opcode) IsMem() bool { return op.Info().Mem != 0 }
+
+// IsBranch reports whether op can redirect control flow.
+func (op Opcode) IsBranch() bool { return op.Info().Branch }
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Opcode) IsCondBranch() bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		return true
+	}
+	return false
+}
+
+// IsVector reports whether op operates on vector registers or moves
+// vector-width data.
+func (op Opcode) IsVector() bool {
+	info := op.Info()
+	return info.DstClass == RCVec || info.SrcAClass == RCVec || info.SrcBClass == RCVec
+}
+
+// OpByName maps an assembler mnemonic back to its opcode; ok is false for
+// unknown mnemonics.
+func OpByName(name string) (op Opcode, ok bool) {
+	o, ok := opsByName[name]
+	return o, ok
+}
+
+var opsByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := OpInvalid + 1; int(op) < NumOpcodes; op++ {
+		m[opInfos[op].Name] = op
+	}
+	return m
+}()

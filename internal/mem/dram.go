@@ -1,0 +1,81 @@
+package mem
+
+import "fmt"
+
+// DRAMConfig parameterizes the main-memory model.
+type DRAMConfig struct {
+	// Latency is the fixed access latency in core cycles (row activation,
+	// column access, controller queuing folded into one constant).
+	Latency int64
+	// BurstCycles is how long one line transfer occupies the channel.
+	// Back-to-back requests serialize on the channel at this rate.
+	BurstCycles int64
+}
+
+// DefaultDRAMConfig matches the paper's platform assumption of an
+// off-chip memory roughly 100 core cycles away at 1 GHz.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{Latency: 100, BurstCycles: 4}
+}
+
+// DRAM is the bottom of the hierarchy: a fixed-latency, bandwidth-limited
+// main memory.
+type DRAM struct {
+	cfg      DRAMConfig
+	chanFree int64
+	stats    Stats
+}
+
+// NewDRAM builds a DRAM model; it panics on non-positive latency because a
+// zero-latency main memory would silently void every experiment.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.Latency <= 0 {
+		panic(fmt.Sprintf("mem: DRAM latency must be positive, got %d", cfg.Latency))
+	}
+	if cfg.BurstCycles <= 0 {
+		cfg.BurstCycles = 1
+	}
+	return &DRAM{cfg: cfg}
+}
+
+// Access implements Port. Every request occupies the single channel for
+// BurstCycles and completes Latency cycles after it wins the channel.
+func (d *DRAM) Access(now int64, req Req) int64 {
+	start := now
+	if d.chanFree > start {
+		start = d.chanFree
+	}
+	d.chanFree = start + d.cfg.BurstCycles
+	d.stats.BusyCycles += d.cfg.BurstCycles
+	d.stats.Record(req.Kind, true) // DRAM always "hits"
+	done := start + d.cfg.Latency
+	if req.Kind == Write || req.Kind == WriteBack {
+		// Writes retire when accepted by the controller.
+		done = start + d.cfg.BurstCycles
+	}
+	return done
+}
+
+// Stats returns a copy of the accumulated counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Reset clears timing state and counters.
+func (d *DRAM) Reset() {
+	d.chanFree = 0
+	d.stats = Stats{}
+}
+
+// FixedPort is a Port with a constant latency and no contention; used in
+// unit tests and as an idealized next level.
+type FixedPort struct {
+	Latency int64
+	Count   uint64
+	Last    Req
+}
+
+// Access implements Port.
+func (f *FixedPort) Access(now int64, req Req) int64 {
+	f.Count++
+	f.Last = req
+	return now + f.Latency
+}

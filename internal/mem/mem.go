@@ -1,0 +1,139 @@
+// Package mem defines the timing-model plumbing shared by every level of
+// the simulated memory hierarchy: the Port interface, request types, and
+// the DRAM main-memory model.
+//
+// The hierarchy is timing-only ("tag-only"): components track which line
+// addresses they hold, their recency and dirtiness, and when their banks
+// and buses are busy, but not data values. Data lives in the functional
+// interpreter (internal/cpu). This mirrors trace-driven cache simulation
+// and keeps every component deterministic.
+//
+// Timing style is timestamp algebra rather than an event queue: a call
+// Access(now, req) returns the absolute cycle at which the request
+// completes, and the component records internal busy-until state so that
+// later requests observe contention.
+package mem
+
+import "fmt"
+
+// Addr is a 32-bit physical byte address.
+type Addr = uint32
+
+// Kind classifies a memory request.
+type Kind uint8
+
+const (
+	// Read is a demand data load; the core blocks until Done.
+	Read Kind = iota
+	// Write is a data store (retired from the store buffer).
+	Write
+	// Prefetch asks a level to pull a line in without blocking the core.
+	Prefetch
+	// Fetch is an instruction fetch (IL1 path).
+	Fetch
+	// WriteBack is a dirty-line eviction travelling down the hierarchy.
+	WriteBack
+	// Fill is a whole-line fill request issued by an upper level on a miss.
+	Fill
+)
+
+var kindNames = [...]string{"read", "write", "prefetch", "fetch", "writeback", "fill"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsRead reports whether k moves data toward the core.
+func (k Kind) IsRead() bool { return k == Read || k == Fetch || k == Fill || k == Prefetch }
+
+// Req is one memory request presented to a Port.
+type Req struct {
+	Addr  Addr
+	Bytes int
+	Kind  Kind
+}
+
+// Port is anything a request can be sent to: a cache, a front-end buffer,
+// DRAM. Access performs the request at absolute cycle now and returns the
+// absolute cycle at which it completes (data available for reads, value
+// retired for writes). Implementations must tolerate non-decreasing now
+// values and must be deterministic.
+type Port interface {
+	Access(now int64, req Req) (done int64)
+}
+
+// Stats counts the traffic a component observed, split by request class.
+type Stats struct {
+	Reads, ReadHits   uint64
+	Writes, WriteHits uint64
+	Prefetches        uint64
+	PrefetchHits      uint64
+	WriteBacks        uint64
+	Fills             uint64
+	// BusyCycles accumulates cycles the component's banks/ports were
+	// occupied (for utilization reporting).
+	BusyCycles int64
+}
+
+// Accesses is total demand traffic (reads+writes).
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Misses is total demand misses.
+func (s Stats) Misses() uint64 { return s.Accesses() - s.ReadHits - s.WriteHits }
+
+// HitRate returns the demand hit fraction in [0,1]; 0 if no accesses.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.ReadHits+s.WriteHits) / float64(a)
+}
+
+// Record tallies one access outcome into the stats.
+func (s *Stats) Record(kind Kind, hit bool) {
+	switch kind {
+	case Read, Fetch, Fill:
+		s.Reads++
+		if hit {
+			s.ReadHits++
+		}
+	case Write:
+		s.Writes++
+		if hit {
+			s.WriteHits++
+		}
+	case Prefetch:
+		s.Prefetches++
+		if hit {
+			s.PrefetchHits++
+		}
+	case WriteBack:
+		s.WriteBacks++
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.ReadHits += other.ReadHits
+	s.Writes += other.Writes
+	s.WriteHits += other.WriteHits
+	s.Prefetches += other.Prefetches
+	s.PrefetchHits += other.PrefetchHits
+	s.WriteBacks += other.WriteBacks
+	s.Fills += other.Fills
+	s.BusyCycles += other.BusyCycles
+}
+
+// LineAddr returns the line-aligned base of addr for a power-of-two line
+// size.
+func LineAddr(addr Addr, lineSize int) Addr { return addr &^ Addr(lineSize-1) }
+
+// CrossesLine reports whether [addr, addr+bytes) spans a line boundary.
+func CrossesLine(addr Addr, bytes, lineSize int) bool {
+	return LineAddr(addr, lineSize) != LineAddr(addr+Addr(bytes)-1, lineSize)
+}

@@ -1,0 +1,150 @@
+package mem
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Read: "read", Write: "write", Prefetch: "prefetch",
+		Fetch: "fetch", WriteBack: "writeback", Fill: "fill",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must still stringify")
+	}
+}
+
+func TestKindIsRead(t *testing.T) {
+	for _, k := range []Kind{Read, Fetch, Fill, Prefetch} {
+		if !k.IsRead() {
+			t.Errorf("%v must be a read", k)
+		}
+	}
+	for _, k := range []Kind{Write, WriteBack} {
+		if k.IsRead() {
+			t.Errorf("%v must not be a read", k)
+		}
+	}
+}
+
+func TestStatsRecordAndRates(t *testing.T) {
+	var s Stats
+	s.Record(Read, true)
+	s.Record(Read, false)
+	s.Record(Write, true)
+	s.Record(Prefetch, false)
+	s.Record(WriteBack, false)
+	s.Record(Fetch, true)
+	s.Record(Fill, false)
+
+	if s.Reads != 4 { // Read x2 + Fetch + Fill all count as reads
+		t.Errorf("Reads = %d, want 4", s.Reads)
+	}
+	if s.ReadHits != 2 {
+		t.Errorf("ReadHits = %d, want 2", s.ReadHits)
+	}
+	if s.Writes != 1 || s.WriteHits != 1 {
+		t.Errorf("writes %d/%d", s.WriteHits, s.Writes)
+	}
+	if s.Prefetches != 1 || s.PrefetchHits != 0 {
+		t.Errorf("prefetches %d/%d", s.PrefetchHits, s.Prefetches)
+	}
+	if s.WriteBacks != 1 {
+		t.Errorf("writebacks = %d", s.WriteBacks)
+	}
+	if got := s.Accesses(); got != 5 {
+		t.Errorf("Accesses = %d, want 5", got)
+	}
+	if got := s.Misses(); got != 2 {
+		t.Errorf("Misses = %d, want 2", got)
+	}
+	if got := s.HitRate(); got != 0.6 {
+		t.Errorf("HitRate = %v, want 0.6", got)
+	}
+	var empty Stats
+	if empty.HitRate() != 0 {
+		t.Error("empty hit rate must be 0")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Reads: 1, ReadHits: 1, Writes: 2, WriteHits: 1, Prefetches: 3, PrefetchHits: 2, WriteBacks: 4, Fills: 5, BusyCycles: 6}
+	b := a
+	b.Add(a)
+	if b.Reads != 2 || b.Writes != 4 || b.Prefetches != 6 || b.WriteBacks != 8 || b.Fills != 10 || b.BusyCycles != 12 {
+		t.Errorf("Add wrong: %+v", b)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if got := LineAddr(0x12345, 64); got != 0x12340 {
+		t.Errorf("LineAddr = %#x", got)
+	}
+	if got := LineAddr(0x1000, 64); got != 0x1000 {
+		t.Errorf("aligned LineAddr = %#x", got)
+	}
+}
+
+func TestCrossesLine(t *testing.T) {
+	if CrossesLine(0, 64, 64) {
+		t.Error("exact line must not cross")
+	}
+	if !CrossesLine(60, 8, 64) {
+		t.Error("60+8 must cross a 64B line")
+	}
+	if CrossesLine(60, 4, 64) {
+		t.Error("60+4 must not cross")
+	}
+	if !CrossesLine(63, 2, 64) {
+		t.Error("63+2 must cross")
+	}
+}
+
+func TestDRAMLatencyAndBandwidth(t *testing.T) {
+	d := NewDRAM(DRAMConfig{Latency: 100, BurstCycles: 4})
+	// First read completes at now + latency.
+	if got := d.Access(10, Req{Addr: 0, Bytes: 64, Kind: Fill}); got != 110 {
+		t.Errorf("first access done = %d, want 110", got)
+	}
+	// Second read issued at the same time queues behind the burst.
+	if got := d.Access(10, Req{Addr: 64, Bytes: 64, Kind: Fill}); got != 114 {
+		t.Errorf("second access done = %d, want 114", got)
+	}
+	// Writes retire once the channel accepts them.
+	if got := d.Access(200, Req{Addr: 0, Bytes: 64, Kind: WriteBack}); got != 204 {
+		t.Errorf("write done = %d, want 204", got)
+	}
+	st := d.Stats()
+	if st.Reads != 2 || st.WriteBacks != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	d.Reset()
+	if d.Stats().Reads != 0 {
+		t.Error("reset must clear stats")
+	}
+	if got := d.Access(0, Req{Kind: Read}); got != 100 {
+		t.Errorf("after reset, done = %d, want 100", got)
+	}
+}
+
+func TestDRAMPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive latency")
+		}
+	}()
+	NewDRAM(DRAMConfig{Latency: 0})
+}
+
+func TestFixedPort(t *testing.T) {
+	p := &FixedPort{Latency: 7}
+	if got := p.Access(3, Req{Addr: 42, Kind: Read}); got != 10 {
+		t.Errorf("done = %d", got)
+	}
+	if p.Count != 1 || p.Last.Addr != 42 {
+		t.Errorf("bookkeeping wrong: %+v", p)
+	}
+}

@@ -1,0 +1,173 @@
+package polybench
+
+import "sttdl1/internal/ir"
+
+// Matrix-product kernels. Loop nests use the i,k,j order so the innermost
+// loop is stride-1 over the output row — the form whose innermost loop
+// the paper's vectorization targets.
+
+func init() {
+	register(Bench{Name: "gemm", Default: 36, Desc: "C = alpha*A*B + beta*C", Build: buildGEMM})
+	register(Bench{Name: "2mm", Default: 30, Desc: "D = alpha*A*B*C + beta*D", Build: build2MM})
+	register(Bench{Name: "3mm", Default: 26, Desc: "G = (A*B)*(C*D)", Build: build3MM})
+	register(Bench{Name: "syrk", Default: 40, Desc: "C = alpha*A*A^T + beta*C (lower)", Build: buildSYRK})
+	register(Bench{Name: "trmm", Default: 40, Desc: "B = alpha*A^T*B (A unit lower triangular)", Build: buildTRMM})
+}
+
+// matmulAccum emits: for i { for k { for j(vec): D[i][j] += S*A[i][k]*B[k][j] } }
+// with an optional alpha scale factored into the splat-hoisted invariant.
+func matmulAccum(d, a, b *ir.Array, scale ir.Expr, ni, nk, nj int) ir.Stmt {
+	prod := ir.Bin{Op: ir.Mul, L: ir.Load{Arr: a, Idx: []ir.Aff{ir.V("i"), ir.V("k")}}, R: ir.Load{Arr: b, Idx: []ir.Aff{ir.V("k"), ir.V("j")}}}
+	var rhs ir.Expr = prod
+	if scale != nil {
+		rhs = ir.Bin{Op: ir.Mul, L: scale, R: prod}
+	}
+	return ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(ni), Body: []ir.Stmt{
+		ir.Loop{Var: "k", Lo: ir.BC(0), Hi: ir.BC(nk), Body: []ir.Stmt{
+			ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(nj), Vectorizable: true, Body: []ir.Stmt{
+				ir.Assign{Arr: d, Idx: []ir.Aff{ir.V("i"), ir.V("j")},
+					RHS: ir.Bin{Op: ir.Add, L: ir.Load{Arr: d, Idx: []ir.Aff{ir.V("i"), ir.V("j")}}, R: rhs}},
+			}},
+		}},
+	}}
+}
+
+// scale2D emits: for i { for j(vec): D[i][j] = D[i][j]*f }.
+func scale2D(d *ir.Array, f ir.Expr, ni, nj int) ir.Stmt {
+	return ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(ni), Body: []ir.Stmt{
+		ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(nj), Vectorizable: true, Body: []ir.Stmt{
+			ir.Assign{Arr: d, Idx: []ir.Aff{ir.V("i"), ir.V("j")},
+				RHS: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: d, Idx: []ir.Aff{ir.V("i"), ir.V("j")}}, R: f}},
+		}},
+	}}
+}
+
+// zero2D emits: for i { for j(vec): D[i][j] = 0 }.
+func zero2D(d *ir.Array, ni, nj int) ir.Stmt {
+	return ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(ni), Body: []ir.Stmt{
+		ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(nj), Vectorizable: true, Body: []ir.Stmt{
+			ir.Assign{Arr: d, Idx: []ir.Aff{ir.V("i"), ir.V("j")}, RHS: ir.ConstF{V: 0}},
+		}},
+	}}
+}
+
+func buildGEMM(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	B := &ir.Array{Name: "B", Dims: []int{n, n}, Init: init2D(n, n, 1)}
+	C := &ir.Array{Name: "C", Dims: []int{n, n}, Init: init2D(n, n, 2), Out: true}
+	return &ir.Kernel{
+		Name:   "gemm",
+		Arrays: []*ir.Array{A, B, C},
+		Params: []ir.Param{{Name: "alpha", Value: 1.5}, {Name: "beta", Value: 1.2}},
+		Body: []ir.Stmt{
+			scale2D(C, ir.ParamRef{Name: "beta"}, n, n),
+			matmulAccum(C, A, B, ir.ParamRef{Name: "alpha"}, n, n, n),
+		},
+	}
+}
+
+func build2MM(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	B := &ir.Array{Name: "B", Dims: []int{n, n}, Init: init2D(n, n, 1)}
+	C := &ir.Array{Name: "C", Dims: []int{n, n}, Init: init2D(n, n, 2)}
+	D := &ir.Array{Name: "D", Dims: []int{n, n}, Init: init2D(n, n, 3), Out: true}
+	T := &ir.Array{Name: "tmp", Dims: []int{n, n}}
+	return &ir.Kernel{
+		Name:   "2mm",
+		Arrays: []*ir.Array{A, B, C, D, T},
+		Params: []ir.Param{{Name: "alpha", Value: 1.5}, {Name: "beta", Value: 1.2}},
+		Body: []ir.Stmt{
+			zero2D(T, n, n),
+			matmulAccum(T, A, B, ir.ParamRef{Name: "alpha"}, n, n, n),
+			scale2D(D, ir.ParamRef{Name: "beta"}, n, n),
+			matmulAccum(D, T, C, nil, n, n, n),
+		},
+	}
+}
+
+func build3MM(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	B := &ir.Array{Name: "B", Dims: []int{n, n}, Init: init2D(n, n, 1)}
+	C := &ir.Array{Name: "C", Dims: []int{n, n}, Init: init2D(n, n, 2)}
+	D := &ir.Array{Name: "D", Dims: []int{n, n}, Init: init2D(n, n, 3)}
+	E := &ir.Array{Name: "E", Dims: []int{n, n}}
+	F := &ir.Array{Name: "F", Dims: []int{n, n}}
+	G := &ir.Array{Name: "G", Dims: []int{n, n}, Out: true}
+	return &ir.Kernel{
+		Name:   "3mm",
+		Arrays: []*ir.Array{A, B, C, D, E, F, G},
+		Body: []ir.Stmt{
+			zero2D(E, n, n),
+			matmulAccum(E, A, B, nil, n, n, n),
+			zero2D(F, n, n),
+			matmulAccum(F, C, D, nil, n, n, n),
+			zero2D(G, n, n),
+			matmulAccum(G, E, F, nil, n, n, n),
+		},
+	}
+}
+
+func buildSYRK(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	C := &ir.Array{Name: "C", Dims: []int{n, n}, Init: init2D(n, n, 1), Out: true}
+	jIdx := []ir.Aff{ir.V("i"), ir.V("j")}
+	// Triangular update: for i { for j<=i { C[i][j] *= beta;
+	// for k(vec): C[i][j] += alpha*A[i][k]*A[j][k] } }. The k loop is a
+	// vectorizable reduction: both A streams are stride-1 in k.
+	inner := ir.Loop{Var: "k", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+		ir.Assign{Arr: C, Idx: jIdx, RHS: ir.Bin{Op: ir.Add,
+			L: ir.Load{Arr: C, Idx: jIdx},
+			R: ir.Bin{Op: ir.Mul, L: ir.ParamRef{Name: "alpha"},
+				R: ir.Bin{Op: ir.Mul,
+					L: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("i"), ir.V("k")}},
+					R: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("j"), ir.V("k")}}}}}},
+	}}
+	return &ir.Kernel{
+		Name:   "syrk",
+		Arrays: []*ir.Array{A, C},
+		Params: []ir.Param{{Name: "alpha", Value: 1.5}, {Name: "beta", Value: 1.2}},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BV("i", 1), Body: []ir.Stmt{
+					ir.Assign{Arr: C, Idx: jIdx, RHS: ir.Bin{Op: ir.Mul,
+						L: ir.Load{Arr: C, Idx: jIdx}, R: ir.ParamRef{Name: "beta"}}},
+					inner,
+				}},
+			}},
+		},
+	}
+}
+
+func buildTRMM(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	B := &ir.Array{Name: "B", Dims: []int{n, n}, Init: init2D(n, n, 1), Out: true}
+	bij := []ir.Aff{ir.V("i"), ir.V("j")}
+	// PolyBench trmm: for i { for j { for k=i+1..n:
+	// B[i][j] += A[k][i]*B[k][j]; B[i][j] *= alpha } }.
+	// A[k][i] and B[k][j] stride by a whole row in k, so the innermost
+	// loop is NOT vectorizable — trmm is the suite's column-walk kernel.
+	return &ir.Kernel{
+		Name:   "trmm",
+		Arrays: []*ir.Array{A, B},
+		Params: []ir.Param{{Name: "alpha", Value: 1.5}},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				// InterchangeOK: the (j,k) pair is rectangular; swapping
+				// turns the row-k walks into stride-1 j walks.
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), InterchangeOK: true, Body: []ir.Stmt{
+					// IVDep: the k>i reads of B never touch the B[i][j]
+					// accumulator, so it may live in a register.
+					ir.Loop{Var: "k", Lo: ir.BV("i", 1), Hi: ir.BC(n), Vectorizable: true, IVDep: true, Body: []ir.Stmt{
+						ir.Assign{Arr: B, Idx: bij, RHS: ir.Bin{Op: ir.Add,
+							L: ir.Load{Arr: B, Idx: bij},
+							R: ir.Bin{Op: ir.Mul,
+								L: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("k"), ir.V("i")}},
+								R: ir.Load{Arr: B, Idx: []ir.Aff{ir.V("k"), ir.V("j")}}}}},
+					}},
+					ir.Assign{Arr: B, Idx: bij, RHS: ir.Bin{Op: ir.Mul,
+						L: ir.Load{Arr: B, Idx: bij}, R: ir.ParamRef{Name: "alpha"}}},
+				}},
+			}},
+		},
+	}
+}

@@ -1,0 +1,206 @@
+package polybench
+
+import "sttdl1/internal/ir"
+
+// Additional PolyBench kernels broadening the workload mix: a rich BLAS
+// composite (gemver), a 3-D tensor contraction (doitgen), an in-place
+// Gauss-Seidel stencil whose loop-carried dependences legitimately defeat
+// vectorization (seidel2d), and a statistics kernel mixing row-walk and
+// column-walk phases (covariance).
+
+func init() {
+	register(Bench{Name: "gemver", Default: 120, Desc: "A += u1 v1^T + u2 v2^T; x = beta A^T y + z; w = alpha A x", Build: buildGEMVER})
+	register(Bench{Name: "doitgen", Default: 18, Desc: "3-D tensor-matrix contraction", Build: buildDoitgen})
+	register(Bench{Name: "seidel2d", Default: 48, Desc: "in-place 2-D Gauss-Seidel, 8 timesteps", Build: buildSeidel2D})
+	register(Bench{Name: "covariance", Default: 28, Desc: "covariance matrix of a data set", Build: buildCovariance})
+}
+
+func buildGEMVER(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0), Out: true}
+	u1 := &ir.Array{Name: "u1", Dims: []int{n}, Init: init1D(n, 1)}
+	v1 := &ir.Array{Name: "v1", Dims: []int{n}, Init: init1D(n, 2)}
+	u2 := &ir.Array{Name: "u2", Dims: []int{n}, Init: init1D(n, 3)}
+	v2 := &ir.Array{Name: "v2", Dims: []int{n}, Init: init1D(n, 4)}
+	x := &ir.Array{Name: "x", Dims: []int{n}, Out: true}
+	y := &ir.Array{Name: "y", Dims: []int{n}, Init: init1D(n, 5)}
+	z := &ir.Array{Name: "z", Dims: []int{n}, Init: init1D(n, 6)}
+	w := &ir.Array{Name: "w", Dims: []int{n}, Out: true}
+	aij := []ir.Aff{ir.V("i"), ir.V("j")}
+	xi := []ir.Aff{ir.V("i")}
+	return &ir.Kernel{
+		Name:   "gemver",
+		Arrays: []*ir.Array{A, u1, v1, u2, v2, x, y, z, w},
+		Params: []ir.Param{{Name: "alpha", Value: 1.5}, {Name: "beta", Value: 1.2}},
+		Body: []ir.Stmt{
+			// A += u1 v1^T + u2 v2^T: rank-two update, vector map over j.
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: A, Idx: aij, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: A, Idx: aij},
+						R: ir.Bin{Op: ir.Add,
+							L: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: u1, Idx: xi}, R: ir.Load{Arr: v1, Idx: []ir.Aff{ir.V("j")}}},
+							R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: u2, Idx: xi}, R: ir.Load{Arr: v2, Idx: []ir.Aff{ir.V("j")}}}}}},
+				}},
+			}},
+			// x = beta A^T y + z: the transposed walk stays scalar in the
+			// paper's transformation set; InterchangeOK lets the
+			// extension pass fix it.
+			zero1D(x, n, "j"),
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), InterchangeOK: true, Vectorizable: true, Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: x, Idx: xi, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: x, Idx: xi},
+						R: ir.Bin{Op: ir.Mul, L: ir.ParamRef{Name: "beta"},
+							R: ir.Bin{Op: ir.Mul,
+								L: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("j"), ir.V("i")}},
+								R: ir.Load{Arr: y, Idx: []ir.Aff{ir.V("j")}}}}}},
+				}},
+				ir.Assign{Arr: x, Idx: xi, RHS: ir.Bin{Op: ir.Add,
+					L: ir.Load{Arr: x, Idx: xi}, R: ir.Load{Arr: z, Idx: xi}}},
+			}},
+			// w = alpha A x: row-walk vector reduction.
+			zero1D(w, n, "j"),
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: w, Idx: xi, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: w, Idx: xi},
+						R: ir.Bin{Op: ir.Mul, L: ir.ParamRef{Name: "alpha"},
+							R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: A, Idx: aij}, R: ir.Load{Arr: x, Idx: []ir.Aff{ir.V("j")}}}}}},
+				}},
+			}},
+		},
+	}
+}
+
+func buildDoitgen(n int) *ir.Kernel {
+	// A[r][q][s], C4[s][p], sum[p]: sum = A[r][q][:] . C4, copied back.
+	A := &ir.Array{Name: "A", Dims: []int{n, n, n}, Init: func(idx []int) float32 {
+		return fr(idx[0]*n+idx[1], idx[2]+1, 0, n)
+	}, Out: true}
+	C4 := &ir.Array{Name: "C4", Dims: []int{n, n}, Init: init2D(n, n, 1)}
+	sum := &ir.Array{Name: "sum", Dims: []int{n}}
+	pIdx := []ir.Aff{ir.V("p")}
+	return &ir.Kernel{
+		Name:   "doitgen",
+		Arrays: []*ir.Array{A, C4, sum},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "r", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "q", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+					zero1D(sum, n, "p"),
+					// s outer, p inner: both streams stride-1 in p
+					// (A[r][q][s] is a hoisted invariant).
+					ir.Loop{Var: "s", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+						ir.Loop{Var: "p", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+							ir.Assign{Arr: sum, Idx: pIdx, RHS: ir.Bin{Op: ir.Add,
+								L: ir.Load{Arr: sum, Idx: pIdx},
+								R: ir.Bin{Op: ir.Mul,
+									L: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("r"), ir.V("q"), ir.V("s")}},
+									R: ir.Load{Arr: C4, Idx: []ir.Aff{ir.V("s"), ir.V("p")}}}}},
+						}},
+					}},
+					ir.Loop{Var: "p", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+						ir.Assign{Arr: A, Idx: []ir.Aff{ir.V("r"), ir.V("q"), ir.V("p")},
+							RHS: ir.Load{Arr: sum, Idx: pIdx}},
+					}},
+				}},
+			}},
+		},
+	}
+}
+
+// seidel2dSteps is the timestep count.
+const seidel2dSteps = 8
+
+func buildSeidel2D(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: func(idx []int) float32 {
+		return float32(idx[0]) * (float32(idx[1]) + 2) / float32(n)
+	}, Out: true}
+	ninth := ir.ConstF{V: 1.0 / 9.0}
+	ld := func(di, dj int) ir.Expr {
+		return ir.Load{Arr: A, Idx: []ir.Aff{ir.VC("i", 1, di), ir.VC("j", 1, dj)}}
+	}
+	sum := ir.Bin{Op: ir.Add,
+		L: ir.Bin{Op: ir.Add,
+			L: ir.Bin{Op: ir.Add, L: ld(-1, -1), R: ld(-1, 0)},
+			R: ir.Bin{Op: ir.Add, L: ld(-1, 1), R: ld(0, -1)}},
+		R: ir.Bin{Op: ir.Add,
+			L: ir.Bin{Op: ir.Add, L: ld(0, 0), R: ld(0, 1)},
+			R: ir.Bin{Op: ir.Add,
+				L: ir.Bin{Op: ir.Add, L: ld(1, -1), R: ld(1, 0)},
+				R: ld(1, 1)}}}
+	// The j loop is marked Vectorizable (the author would love to) but
+	// the in-place A[i][j-1] dependence makes the planner reject it —
+	// Gauss-Seidel is the suite's legitimately-serial stencil.
+	return &ir.Kernel{
+		Name:   "seidel2d",
+		Arrays: []*ir.Array{A},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "t", Lo: ir.BC(0), Hi: ir.BC(seidel2dSteps), Body: []ir.Stmt{
+				ir.Loop{Var: "i", Lo: ir.BC(1), Hi: ir.BC(n - 1), Body: []ir.Stmt{
+					ir.Loop{Var: "j", Lo: ir.BC(1), Hi: ir.BC(n - 1), Vectorizable: true, Body: []ir.Stmt{
+						ir.Assign{Arr: A, Idx: []ir.Aff{ir.V("i"), ir.V("j")},
+							RHS: ir.Bin{Op: ir.Mul, L: ninth, R: sum}},
+					}},
+				}},
+			}},
+		},
+	}
+}
+
+func buildCovariance(n int) *ir.Kernel {
+	data := &ir.Array{Name: "data", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	cov := &ir.Array{Name: "cov", Dims: []int{n, n}, Out: true}
+	mean := &ir.Array{Name: "mean", Dims: []int{n}}
+	dij := []ir.Aff{ir.V("i"), ir.V("j")}
+	invN := ir.ConstF{V: 1.0 / float32(n)}
+	invN1 := ir.ConstF{V: 1.0 / float32(n-1)}
+	covIJ := []ir.Aff{ir.V("i"), ir.V("j")}
+	return &ir.Kernel{
+		Name:   "covariance",
+		Arrays: []*ir.Array{data, cov, mean},
+		Body: []ir.Stmt{
+			// Column means accumulated row-wise (vector map over j).
+			zero1D(mean, n, "j"),
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: mean, Idx: []ir.Aff{ir.V("j")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: mean, Idx: []ir.Aff{ir.V("j")}},
+						R: ir.Load{Arr: data, Idx: dij}}},
+				}},
+			}},
+			ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+				ir.Assign{Arr: mean, Idx: []ir.Aff{ir.V("j")}, RHS: ir.Bin{Op: ir.Mul,
+					L: ir.Load{Arr: mean, Idx: []ir.Aff{ir.V("j")}}, R: invN}},
+			}},
+			// Center the data (vector map).
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: data, Idx: dij, RHS: ir.Bin{Op: ir.Sub,
+						L: ir.Load{Arr: data, Idx: dij},
+						R: ir.Load{Arr: mean, Idx: []ir.Aff{ir.V("j")}}}},
+				}},
+			}},
+			// cov[i][j] for j >= i: the k-walk reads two columns —
+			// inherently scalar (stride-N), like the paper's transposed
+			// kernels.
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				// InterchangeOK: swapping (j,k) makes the two column
+				// reads stride-1 in j.
+				ir.Loop{Var: "j", Lo: ir.BV("i", 0), Hi: ir.BC(n), InterchangeOK: true, Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: cov, Idx: covIJ, RHS: ir.ConstF{V: 0}},
+					ir.Loop{Var: "k", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, IVDep: true, Body: []ir.Stmt{
+						ir.Assign{Arr: cov, Idx: covIJ, RHS: ir.Bin{Op: ir.Add,
+							L: ir.Load{Arr: cov, Idx: covIJ},
+							R: ir.Bin{Op: ir.Mul,
+								L: ir.Load{Arr: data, Idx: []ir.Aff{ir.V("k"), ir.V("i")}},
+								R: ir.Load{Arr: data, Idx: []ir.Aff{ir.V("k"), ir.V("j")}}}}},
+					}},
+					ir.Assign{Arr: cov, Idx: covIJ, RHS: ir.Bin{Op: ir.Mul,
+						L: ir.Load{Arr: cov, Idx: covIJ}, R: invN1}},
+					ir.Assign{Arr: cov, Idx: []ir.Aff{ir.V("j"), ir.V("i")},
+						RHS: ir.Load{Arr: cov, Idx: covIJ}},
+				}},
+			}},
+		},
+	}
+}

@@ -1,0 +1,92 @@
+// Package polybench re-expresses a subset of the PolyBench/C benchmark
+// suite (Pouchet; the paper's workload, its ref [13]) in the loop-nest IR
+// of internal/ir. The subset mirrors the paper's choice of small linear
+// algebra, solver, and stencil kernels: matrix products (gemm, 2mm, 3mm,
+// syrk, trmm), matrix-vector chains (atax, bicg, mvt, gesummv), a
+// triangular solver (trisolv), a 2-D Jacobi stencil (jacobi-2d), and
+// Floyd-Warshall (the data-dependent-branch kernel that exercises the
+// branch-removal transformation).
+//
+// Problem sizes follow PolyBench's "mini/small" philosophy — the paper
+// itself notes its benchmarks "are not particularly large or heavily
+// data intensive" — scaled so each kernel runs hundreds of thousands to
+// a few million simulated instructions, with working sets on both sides
+// of the 64 KB DL1 capacity. Sizes are deliberately not multiples of the
+// vector width so SIMD tail loops are exercised everywhere.
+//
+// Initialization follows PolyBench's deterministic patterns, evaluated
+// in float32.
+package polybench
+
+import (
+	"fmt"
+	"sort"
+
+	"sttdl1/internal/ir"
+)
+
+// Bench is one registered benchmark.
+type Bench struct {
+	Name string
+	// Default is the standard problem-size parameter used by the
+	// paper-reproduction experiments.
+	Default int
+	// Build constructs the kernel for an arbitrary size (tests use tiny
+	// sizes; sweeps use larger ones).
+	Build func(n int) *ir.Kernel
+	// Desc is a one-line description for reports.
+	Desc string
+}
+
+// Kernel builds the benchmark at its default size.
+func (b Bench) Kernel() *ir.Kernel { return b.Build(b.Default) }
+
+var registry = map[string]Bench{}
+
+func register(b Bench) {
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("polybench: duplicate benchmark %q", b.Name))
+	}
+	registry[b.Name] = b
+}
+
+// All returns every benchmark, sorted by name.
+func All() []Bench {
+	out := make([]Bench, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted benchmark names.
+func Names() []string {
+	bs := All()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (Bench, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// ---- shared initialization helpers (PolyBench-style patterns) ----
+
+// fr is the PolyBench ((i*j+c) % n) / n pattern in float32.
+func fr(i, j, c, n int) float32 {
+	return float32(((i*j + c) % n)) / float32(n)
+}
+
+func init2D(n, m, c int) func(idx []int) float32 {
+	return func(idx []int) float32 { return fr(idx[0], idx[1]+1, c, n) }
+}
+
+func init1D(n, c int) func(idx []int) float32 {
+	return func(idx []int) float32 { return fr(idx[0], 1, c, n) }
+}

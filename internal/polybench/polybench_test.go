@@ -1,0 +1,241 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+
+	"sttdl1/internal/ir"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"2mm", "3mm", "atax", "bicg", "covariance", "doitgen",
+		"floyd", "gemm", "gemver", "gesummv", "jacobi2d", "mvt", "seidel2d",
+		"syrk", "trisolv", "trmm"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("name[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if b, ok := ByName("gemm"); !ok || b.Name != "gemm" || b.Desc == "" {
+		t.Error("gemm lookup failed")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unknown benchmark must not resolve")
+	}
+}
+
+func TestEveryKernelEvaluates(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			k := b.Build(10)
+			if k.Name != b.Name {
+				t.Errorf("kernel name %q != bench name %q", k.Name, b.Name)
+			}
+			data, laid, err := ir.Reference(k, ir.DefaultLayoutOptions())
+			if err != nil {
+				t.Fatalf("evaluate: %v", err)
+			}
+			// Every kernel must declare at least one output array with at
+			// least one finite, nonzero element (a kernel whose outputs
+			// are all zero is almost certainly miswired).
+			hasOut := false
+			nonzero := false
+			for _, a := range laid.Arrays {
+				if !a.Out {
+					continue
+				}
+				hasOut = true
+				for _, v := range ir.ReadArray(a, data) {
+					if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+						t.Fatalf("%s: output %s contains %v", b.Name, a.Name, v)
+					}
+					if v != 0 {
+						nonzero = true
+					}
+				}
+			}
+			if !hasOut {
+				t.Fatal("no Out arrays declared")
+			}
+			if !nonzero {
+				t.Fatal("all outputs are zero")
+			}
+		})
+	}
+}
+
+func TestInitDeterministic(t *testing.T) {
+	for _, b := range All() {
+		k1, k2 := b.Build(8), b.Build(8)
+		d1, l1, err := ir.Reference(k1, ir.DefaultLayoutOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, l2, err := ir.Reference(k2, ir.DefaultLayoutOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range l1.Arrays {
+			x := ir.ReadArray(a, d1)
+			y := ir.ReadArray(l2.Arrays[i], d2)
+			for j := range x {
+				if x[j] != y[j] {
+					t.Fatalf("%s: %s[%d] differs across builds", b.Name, a.Name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDefaultSizesAreSane(t *testing.T) {
+	for _, b := range All() {
+		if b.Default < 8 {
+			t.Errorf("%s default size %d too small", b.Name, b.Default)
+		}
+		k := b.Kernel()
+		total := 0
+		for _, a := range k.Arrays {
+			total += 4 * a.Elems()
+		}
+		if total < 1<<10 || total > 1<<21 {
+			t.Errorf("%s footprint %d bytes outside sane range", b.Name, total)
+		}
+	}
+}
+
+func TestVectorizableMarksExist(t *testing.T) {
+	// Every kernel marks at least one loop Vectorizable — the author
+	// pragma the paper's §V transformation relies on.
+	for _, b := range All() {
+		k := b.Build(8)
+		found := false
+		var walk func(ss []ir.Stmt)
+		walk = func(ss []ir.Stmt) {
+			for _, s := range ss {
+				switch st := s.(type) {
+				case ir.Loop:
+					if st.Vectorizable {
+						found = true
+					}
+					walk(st.Body)
+				case ir.If:
+					walk(st.Then)
+					walk(st.Else)
+				}
+			}
+		}
+		walk(k.Body)
+		if !found {
+			t.Errorf("%s: no Vectorizable loop marked", b.Name)
+		}
+	}
+}
+
+func TestGemmGoldenValue(t *testing.T) {
+	// Pin gemm's semantics with an independently computed reference.
+	n := 6
+	b, _ := ByName("gemm")
+	data, laid, err := ir.Reference(b.Build(n), ir.DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := make([][]float32, n)
+	B := make([][]float32, n)
+	C := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		A[i] = make([]float32, n)
+		B[i] = make([]float32, n)
+		C[i] = make([]float32, n)
+		for j := 0; j < n; j++ {
+			A[i][j] = fr(i, j+1, 0, n)
+			B[i][j] = fr(i, j+1, 1, n)
+			C[i][j] = fr(i, j+1, 2, n)
+		}
+	}
+	var alpha, beta float32 = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			C[i][j] *= beta
+		}
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				C[i][j] += alpha * A[i][k] * B[k][j]
+			}
+		}
+	}
+	got := ir.ReadArray(laid.Array("C"), data)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if diff := math.Abs(float64(got[i*n+j] - C[i][j])); diff > 1e-5 {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, got[i*n+j], C[i][j])
+			}
+		}
+	}
+}
+
+func TestFloydGoldenValue(t *testing.T) {
+	// Floyd-Warshall against a plain float32 implementation.
+	n := 8
+	b, _ := ByName("floyd")
+	data, laid, err := ir.Reference(b.Build(n), ir.DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := make([][]float32, n)
+	arr := laid.Array("path")
+	for i := range path {
+		path[i] = make([]float32, n)
+		for j := range path[i] {
+			path[i][j] = arr.Init([]int{i, j})
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d := path[i][k] + path[k][j]; d < path[i][j] {
+					path[i][j] = d
+				}
+			}
+		}
+	}
+	got := ir.ReadArray(arr, data)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got[i*n+j] != path[i][j] {
+				t.Fatalf("path[%d][%d] = %g, want %g", i, j, got[i*n+j], path[i][j])
+			}
+		}
+	}
+}
+
+func TestTrisolvSolvesSystem(t *testing.T) {
+	// The solution must actually satisfy L x = b.
+	n := 12
+	b, _ := ByName("trisolv")
+	data, laid, err := ir.Reference(b.Build(n), ir.DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := ir.ReadArray(laid.Array("L"), data)
+	bb := ir.ReadArray(laid.Array("b"), data)
+	x := ir.ReadArray(laid.Array("x"), data)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j <= i; j++ {
+			sum += float64(L[i*n+j]) * float64(x[j])
+		}
+		if diff := math.Abs(sum - float64(bb[i])); diff > 1e-4 {
+			t.Fatalf("row %d: Lx = %g, b = %g", i, sum, bb[i])
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package polybench
+
+import "sttdl1/internal/ir"
+
+// Stencil and medley kernels.
+
+func init() {
+	register(Bench{Name: "jacobi2d", Default: 62, Desc: "2-D Jacobi 5-point stencil, 10 timesteps", Build: buildJacobi2D})
+	register(Bench{Name: "floyd", Default: 30, Desc: "Floyd-Warshall all-pairs shortest paths", Build: buildFloyd})
+}
+
+// jacobi2dSteps is the fixed timestep count (PolyBench TSTEPS, mini
+// scale).
+const jacobi2dSteps = 10
+
+func buildJacobi2D(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: func(idx []int) float32 {
+		i, j := idx[0], idx[1]
+		return float32(i) * (float32(j) + 2) / float32(n)
+	}, Out: true}
+	B := &ir.Array{Name: "B", Dims: []int{n, n}, Init: func(idx []int) float32 {
+		i, j := idx[0], idx[1]
+		return float32(i) * (float32(j) + 3) / float32(n)
+	}}
+	ij := []ir.Aff{ir.V("i"), ir.V("j")}
+	stencil := func(src *ir.Array) ir.Expr {
+		sum := ir.Bin{Op: ir.Add,
+			L: ir.Bin{Op: ir.Add, L: ir.Load{Arr: src, Idx: ij},
+				R: ir.Load{Arr: src, Idx: []ir.Aff{ir.V("i"), ir.VC("j", 1, -1)}}},
+			R: ir.Bin{Op: ir.Add,
+				L: ir.Bin{Op: ir.Add,
+					L: ir.Load{Arr: src, Idx: []ir.Aff{ir.V("i"), ir.VC("j", 1, 1)}},
+					R: ir.Load{Arr: src, Idx: []ir.Aff{ir.VC("i", 1, 1), ir.V("j")}}},
+				R: ir.Load{Arr: src, Idx: []ir.Aff{ir.VC("i", 1, -1), ir.V("j")}}}}
+		return ir.Bin{Op: ir.Mul, L: ir.ConstF{V: 0.2}, R: sum}
+	}
+	sweep := func(dst, src *ir.Array) ir.Stmt {
+		return ir.Loop{Var: "i", Lo: ir.BC(1), Hi: ir.BC(n - 1), Body: []ir.Stmt{
+			ir.Loop{Var: "j", Lo: ir.BC(1), Hi: ir.BC(n - 1), Vectorizable: true, Body: []ir.Stmt{
+				ir.Assign{Arr: dst, Idx: ij, RHS: stencil(src)},
+			}},
+		}}
+	}
+	return &ir.Kernel{
+		Name:   "jacobi2d",
+		Arrays: []*ir.Array{A, B},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "t", Lo: ir.BC(0), Hi: ir.BC(jacobi2dSteps), Body: []ir.Stmt{
+				sweep(B, A),
+				sweep(A, B),
+			}},
+		},
+	}
+}
+
+func buildFloyd(n int) *ir.Kernel {
+	path := &ir.Array{Name: "path", Dims: []int{n, n}, Init: func(idx []int) float32 {
+		i, j := idx[0], idx[1]
+		if i == j {
+			return 0
+		}
+		// Sparse direct edges, large-but-finite elsewhere (classic
+		// PolyBench-style deterministic graph).
+		if (i*j)%7 == 0 || (i+j)%5 == 1 {
+			return float32((i+j)%11 + 1)
+		}
+		return 999
+	}, Out: true}
+	pij := []ir.Aff{ir.V("i"), ir.V("j")}
+	relax := ir.Bin{Op: ir.Add,
+		L: ir.Load{Arr: path, Idx: []ir.Aff{ir.V("i"), ir.V("k")}},
+		R: ir.Load{Arr: path, Idx: []ir.Aff{ir.V("k"), ir.V("j")}}}
+	// The innermost loop carries a data-dependent conditional — the
+	// paper's branch-removal target. It only vectorizes after the
+	// Branchless pass turns the If into a select, and needs IVDep
+	// because lane writes to row i can alias the row-k reads when i==k
+	// (harmless: the relaxation through k never changes row k itself).
+	return &ir.Kernel{
+		Name:   "floyd",
+		Arrays: []*ir.Array{path},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "k", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+					ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, IVDep: true, Body: []ir.Stmt{
+						ir.If{
+							Cond: ir.Cond{Op: ir.LT, L: relax, R: ir.Load{Arr: path, Idx: pij}},
+							Then: []ir.Stmt{ir.Assign{Arr: path, Idx: pij, RHS: relax}},
+						},
+					}},
+				}},
+			}},
+		},
+	}
+}

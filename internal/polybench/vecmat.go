@@ -1,0 +1,180 @@
+package polybench
+
+import "sttdl1/internal/ir"
+
+// Matrix-vector chains and the triangular solver.
+
+func init() {
+	register(Bench{Name: "atax", Default: 140, Desc: "y = A^T (A x)", Build: buildATAX})
+	register(Bench{Name: "bicg", Default: 140, Desc: "s = A^T r; q = A p", Build: buildBICG})
+	register(Bench{Name: "mvt", Default: 140, Desc: "x1 += A y1; x2 += A^T y2", Build: buildMVT})
+	register(Bench{Name: "gesummv", Default: 120, Desc: "y = alpha*A*x + beta*B*x", Build: buildGESUMMV})
+	register(Bench{Name: "trisolv", Default: 180, Desc: "L x = b forward solve", Build: buildTRISOLV})
+}
+
+func zero1D(d *ir.Array, n int, v string) ir.Stmt {
+	return ir.Loop{Var: v, Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+		ir.Assign{Arr: d, Idx: []ir.Aff{ir.V(v)}, RHS: ir.ConstF{V: 0}},
+	}}
+}
+
+func buildATAX(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	x := &ir.Array{Name: "x", Dims: []int{n}, Init: init1D(n, 1)}
+	y := &ir.Array{Name: "y", Dims: []int{n}, Out: true}
+	tmp := &ir.Array{Name: "tmp", Dims: []int{n}}
+	aij := []ir.Aff{ir.V("i"), ir.V("j")}
+	return &ir.Kernel{
+		Name:   "atax",
+		Arrays: []*ir.Array{A, x, y, tmp},
+		Body: []ir.Stmt{
+			zero1D(y, n, "j"),
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Assign{Arr: tmp, Idx: []ir.Aff{ir.V("i")}, RHS: ir.ConstF{V: 0}},
+				// tmp[i] += A[i][j]*x[j] — vector reduction.
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: tmp, Idx: []ir.Aff{ir.V("i")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: tmp, Idx: []ir.Aff{ir.V("i")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: A, Idx: aij}, R: ir.Load{Arr: x, Idx: []ir.Aff{ir.V("j")}}}}},
+				}},
+				// y[j] += tmp[i]*A[i][j] — vector map with invariant tmp[i].
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: y, Idx: []ir.Aff{ir.V("j")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: y, Idx: []ir.Aff{ir.V("j")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: tmp, Idx: []ir.Aff{ir.V("i")}}, R: ir.Load{Arr: A, Idx: aij}}}},
+				}},
+			}},
+		},
+	}
+}
+
+func buildBICG(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	p := &ir.Array{Name: "p", Dims: []int{n}, Init: init1D(n, 1)}
+	r := &ir.Array{Name: "r", Dims: []int{n}, Init: init1D(n, 2)}
+	s := &ir.Array{Name: "s", Dims: []int{n}, Out: true}
+	q := &ir.Array{Name: "q", Dims: []int{n}, Out: true}
+	aij := []ir.Aff{ir.V("i"), ir.V("j")}
+	return &ir.Kernel{
+		Name:   "bicg",
+		Arrays: []*ir.Array{A, p, r, s, q},
+		Body: []ir.Stmt{
+			zero1D(s, n, "j"),
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Assign{Arr: q, Idx: []ir.Aff{ir.V("i")}, RHS: ir.ConstF{V: 0}},
+				// One loop, two statements: a map (s) and a reduction (q)
+				// — the mixed-shape vector loop.
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: s, Idx: []ir.Aff{ir.V("j")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: s, Idx: []ir.Aff{ir.V("j")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: r, Idx: []ir.Aff{ir.V("i")}}, R: ir.Load{Arr: A, Idx: aij}}}},
+					ir.Assign{Arr: q, Idx: []ir.Aff{ir.V("i")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: q, Idx: []ir.Aff{ir.V("i")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: A, Idx: aij}, R: ir.Load{Arr: p, Idx: []ir.Aff{ir.V("j")}}}}},
+				}},
+			}},
+		},
+	}
+}
+
+func buildMVT(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	x1 := &ir.Array{Name: "x1", Dims: []int{n}, Init: init1D(n, 1), Out: true}
+	x2 := &ir.Array{Name: "x2", Dims: []int{n}, Init: init1D(n, 2), Out: true}
+	y1 := &ir.Array{Name: "y1", Dims: []int{n}, Init: init1D(n, 3)}
+	y2 := &ir.Array{Name: "y2", Dims: []int{n}, Init: init1D(n, 4)}
+	return &ir.Kernel{
+		Name:   "mvt",
+		Arrays: []*ir.Array{A, x1, x2, y1, y2},
+		Body: []ir.Stmt{
+			// x1[i] += A[i][j]*y1[j]: row walk, vectorizable reduction.
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: x1, Idx: []ir.Aff{ir.V("i")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: x1, Idx: []ir.Aff{ir.V("i")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("i"), ir.V("j")}}, R: ir.Load{Arr: y1, Idx: []ir.Aff{ir.V("j")}}}}},
+				}},
+			}},
+			// x2[i] += A[j][i]*y2[j]: column walk — marked vectorizable
+			// but illegal (stride N), so the planner falls back to
+			// scalar; mvt is half row-walk, half column-walk.
+			// InterchangeOK lets the extension pass turn it into a
+			// stride-1 row walk.
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), InterchangeOK: true, Body: []ir.Stmt{
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: x2, Idx: []ir.Aff{ir.V("i")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: x2, Idx: []ir.Aff{ir.V("i")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("j"), ir.V("i")}}, R: ir.Load{Arr: y2, Idx: []ir.Aff{ir.V("j")}}}}},
+				}},
+			}},
+		},
+	}
+}
+
+func buildGESUMMV(n int) *ir.Kernel {
+	A := &ir.Array{Name: "A", Dims: []int{n, n}, Init: init2D(n, n, 0)}
+	B := &ir.Array{Name: "B", Dims: []int{n, n}, Init: init2D(n, n, 1)}
+	x := &ir.Array{Name: "x", Dims: []int{n}, Init: init1D(n, 2)}
+	y := &ir.Array{Name: "y", Dims: []int{n}, Out: true}
+	tmp := &ir.Array{Name: "tmp", Dims: []int{n}}
+	xj := ir.Load{Arr: x, Idx: []ir.Aff{ir.V("j")}}
+	return &ir.Kernel{
+		Name:   "gesummv",
+		Arrays: []*ir.Array{A, B, x, y, tmp},
+		Params: []ir.Param{{Name: "alpha", Value: 1.5}, {Name: "beta", Value: 1.2}},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Assign{Arr: tmp, Idx: []ir.Aff{ir.V("i")}, RHS: ir.ConstF{V: 0}},
+				ir.Assign{Arr: y, Idx: []ir.Aff{ir.V("i")}, RHS: ir.ConstF{V: 0}},
+				// Two reductions share one loop (and one traversal of x).
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BC(n), Vectorizable: true, Body: []ir.Stmt{
+					ir.Assign{Arr: tmp, Idx: []ir.Aff{ir.V("i")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: tmp, Idx: []ir.Aff{ir.V("i")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: A, Idx: []ir.Aff{ir.V("i"), ir.V("j")}}, R: xj}}},
+					ir.Assign{Arr: y, Idx: []ir.Aff{ir.V("i")}, RHS: ir.Bin{Op: ir.Add,
+						L: ir.Load{Arr: y, Idx: []ir.Aff{ir.V("i")}},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: B, Idx: []ir.Aff{ir.V("i"), ir.V("j")}}, R: xj}}},
+				}},
+				ir.Assign{Arr: y, Idx: []ir.Aff{ir.V("i")}, RHS: ir.Bin{Op: ir.Add,
+					L: ir.Bin{Op: ir.Mul, L: ir.ParamRef{Name: "alpha"}, R: ir.Load{Arr: tmp, Idx: []ir.Aff{ir.V("i")}}},
+					R: ir.Bin{Op: ir.Mul, L: ir.ParamRef{Name: "beta"}, R: ir.Load{Arr: y, Idx: []ir.Aff{ir.V("i")}}}}},
+			}},
+		},
+	}
+}
+
+func buildTRISOLV(n int) *ir.Kernel {
+	L := &ir.Array{Name: "L", Dims: []int{n, n}, Init: func(idx []int) float32 {
+		i, j := idx[0], idx[1]
+		if j > i {
+			return 0
+		}
+		if i == j {
+			return 1 + float32(i%7)*0.25 // well-conditioned diagonal
+		}
+		return fr(i, j+1, 0, n) * 0.01
+	}}
+	b := &ir.Array{Name: "b", Dims: []int{n}, Init: init1D(n, 1)}
+	x := &ir.Array{Name: "x", Dims: []int{n}, Out: true}
+	xi := []ir.Aff{ir.V("i")}
+	return &ir.Kernel{
+		Name:   "trisolv",
+		Arrays: []*ir.Array{L, b, x},
+		Body: []ir.Stmt{
+			ir.Loop{Var: "i", Lo: ir.BC(0), Hi: ir.BC(n), Body: []ir.Stmt{
+				ir.Assign{Arr: x, Idx: xi, RHS: ir.Load{Arr: b, Idx: xi}},
+				// x[i] -= L[i][j]*x[j], j<i: a subtract-reduction whose
+				// stream reads earlier elements of the solution vector;
+				// IVDep asserts the j<i elements are final (true for a
+				// forward solve).
+				ir.Loop{Var: "j", Lo: ir.BC(0), Hi: ir.BV("i", 0), Vectorizable: true, IVDep: true, Body: []ir.Stmt{
+					ir.Assign{Arr: x, Idx: xi, RHS: ir.Bin{Op: ir.Sub,
+						L: ir.Load{Arr: x, Idx: xi},
+						R: ir.Bin{Op: ir.Mul, L: ir.Load{Arr: L, Idx: []ir.Aff{ir.V("i"), ir.V("j")}}, R: ir.Load{Arr: x, Idx: []ir.Aff{ir.V("j")}}}}},
+				}},
+				ir.Assign{Arr: x, Idx: xi, RHS: ir.Bin{Op: ir.Div,
+					L: ir.Load{Arr: x, Idx: xi}, R: ir.Load{Arr: L, Idx: []ir.Aff{ir.V("i"), ir.V("i")}}}},
+			}},
+		},
+	}
+}

@@ -1,0 +1,323 @@
+// Package sim assembles the paper's evaluation platform: a 1 GHz
+// Cortex-A9-like core (internal/cpu) with a 32 KB 2-way SRAM IL1, a
+// 64 KB 2-way DL1 whose technology (SRAM or STT-MRAM) and front-end
+// (direct / VWB / L0 / EMSHR) are the experimental variables, a 2 MB
+// 16-way unified SRAM L2, and DRAM — gem5's SE-mode setup from §VI.
+package sim
+
+import (
+	"fmt"
+
+	"sttdl1/internal/cache"
+	"sttdl1/internal/compile"
+	"sttdl1/internal/core"
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/ir"
+	"sttdl1/internal/mem"
+	"sttdl1/internal/tech"
+)
+
+// FrontEndKind selects the structure between the core and the DL1.
+type FrontEndKind int
+
+// Front-end choices.
+const (
+	FEDirect FrontEndKind = iota // no buffer: SRAM baseline / drop-in NVM
+	FEVWB                        // the paper's Very Wide Buffer
+	FEL0                         // Fig. 8 comparison: small L0 cache
+	FEEMSHR                      // Fig. 8 comparison: enhanced MSHR
+)
+
+var feNames = [...]string{"direct", "vwb", "l0", "emshr"}
+
+func (k FrontEndKind) String() string {
+	if int(k) < len(feNames) {
+		return feNames[k]
+	}
+	return fmt.Sprintf("fe(%d)", int(k))
+}
+
+// Config is one platform configuration.
+type Config struct {
+	Name string
+
+	// DL1Cell is the DL1 bit-cell technology (tech.SRAM6T or
+	// tech.STT2T2MTJ for the paper's two columns of Table I).
+	DL1Cell tech.CellKind
+	// DL1Banks is the banked-array split of the DL1 (paper §IV: "we have
+	// simulated a banked NVM array").
+	DL1Banks int
+
+	// FrontEnd picks the DL1 front-end structure.
+	FrontEnd FrontEndKind
+	// BufferBits sizes the VWB/L0/EMSHR (2048 = the paper's 2 Kbit).
+	BufferBits int
+
+	// Compile selects the code transformations.
+	Compile compile.Options
+
+	// CPU overrides the core model; zero value means cpu.DefaultConfig.
+	CPU cpu.Config
+
+	// FreqGHz is the core clock (1 GHz in the paper).
+	FreqGHz float64
+
+	// DL1ReadLat/DL1WriteLat override the technology model's DL1
+	// latencies in cycles (0 = use the model). Used by the read-latency
+	// sensitivity ablation.
+	DL1ReadLat, DL1WriteLat int64
+
+	// VWBPolicy selects the buffer eviction policy (ablation).
+	VWBPolicy core.EvictPolicy
+
+	// VWBTransfer overrides the VWB row-transfer delay in cycles
+	// (0 = default 1; words stream into the row in access order).
+	VWBTransfer int64
+
+	// ColdStart skips the warm-up pass: by default a run executes the
+	// kernel once to warm the hierarchy, resets all clocks and counters
+	// (keeping cache contents), and measures a second execution —
+	// standard steady-state simulation methodology.
+	ColdStart bool
+
+	// IL1Cell optionally replaces the instruction cache's technology
+	// (default SRAM). Setting it to tech.STT2T2MTJ reproduces the
+	// authors' earlier I-cache study (Komalan et al., DATE'14).
+	IL1Cell tech.CellKind
+	// IL1FrontEnd optionally puts a buffer structure in front of the
+	// IL1 (FEEMSHR is the DATE'14 proposal; FEDirect means none).
+	IL1FrontEnd FrontEndKind
+}
+
+// Platform cache geometry (paper §VI).
+const (
+	IL1Size  = 32 << 10
+	IL1Assoc = 2
+	DL1Size  = 64 << 10
+	DL1Assoc = 2
+	L2Size   = 2 << 20
+	L2Assoc  = 16
+	L2Line   = 64
+	// L2 latency in core cycles (array + interconnect, gem5-like).
+	L2Lat = 10
+)
+
+// BaselineSRAM is the paper's reference configuration.
+func BaselineSRAM() Config {
+	return Config{Name: "sram-baseline", DL1Cell: tech.SRAM6T, FrontEnd: FEDirect}
+}
+
+// DropInSTT is §III's motivation experiment: STT-MRAM DL1, no other help.
+func DropInSTT() Config {
+	return Config{Name: "stt-dropin", DL1Cell: tech.STT2T2MTJ, FrontEnd: FEDirect}
+}
+
+// ProposalVWB is the paper's proposal: STT-MRAM DL1 behind a 2 Kbit VWB.
+func ProposalVWB() Config {
+	return Config{Name: "stt-vwb", DL1Cell: tech.STT2T2MTJ, FrontEnd: FEVWB, BufferBits: 2048}
+}
+
+func (c Config) withDefaults() Config {
+	if c.DL1Banks <= 0 {
+		c.DL1Banks = 4
+	}
+	if c.BufferBits <= 0 {
+		c.BufferBits = 2048
+	}
+	if c.FreqGHz <= 0 {
+		c.FreqGHz = 1.0
+	}
+	if c.CPU.IssueWidth == 0 {
+		c.CPU = cpu.DefaultConfig()
+	}
+	return c
+}
+
+// DL1Line returns the DL1 line size used in the simulator: 64 B for every
+// technology. Table I reports a narrower (256-bit) natural line for the
+// SRAM array, but the paper's gem5 experiments replace the SRAM D-cache
+// "by a NVM counterpart with similar characteristics (size,
+// associativity...)" — keeping the line size equal isolates the latency
+// effect, so we do the same and treat the line-width row of Table I as a
+// technology observation.
+func DL1Line(cell tech.CellKind) int { return 64 }
+
+// System is one assembled platform.
+type System struct {
+	Cfg  Config
+	CPU  *cpu.CPU
+	IL1  *cache.Cache
+	DL1  *cache.Cache
+	L2   *cache.Cache
+	DRAM *mem.DRAM
+	FE   core.FrontEnd
+	// DL1Model is the technology model behind the DL1 latencies.
+	DL1Model tech.Model
+}
+
+// New assembles a platform.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+
+	line := DL1Line(cfg.DL1Cell)
+	arr := tech.DefaultArray(cfg.DL1Cell)
+	model, err := tech.Compute(arr)
+	if err != nil {
+		return nil, fmt.Errorf("sim: DL1 tech model: %w", err)
+	}
+	rd, wr := model.CyclesAt(cfg.FreqGHz)
+	if cfg.DL1ReadLat > 0 {
+		rd = cfg.DL1ReadLat
+	}
+	if cfg.DL1WriteLat > 0 {
+		wr = cfg.DL1WriteLat
+	}
+
+	dram := mem.NewDRAM(mem.DefaultDRAMConfig())
+	l2 := cache.New(cache.Config{
+		Name: "L2", Size: L2Size, Assoc: L2Assoc, LineSize: L2Line, Banks: 8,
+		ReadLat: L2Lat, WriteLat: L2Lat, ReadInterval: 2, WriteInterval: 2,
+		MSHRs: 16, WriteBufDepth: 8,
+	}, dram)
+	il1Cfg := cache.Config{
+		Name: "IL1", Size: IL1Size, Assoc: IL1Assoc, LineSize: 64, Banks: 2,
+		ReadLat: 1, WriteLat: 1, ReadInterval: 1, WriteInterval: 1,
+		MSHRs: 2, WriteBufDepth: 2,
+	}
+	if cfg.IL1Cell != tech.SRAM6T {
+		im := tech.MustCompute(tech.DefaultArray(cfg.IL1Cell))
+		ir_, iw := im.CyclesAt(cfg.FreqGHz)
+		// The NVM instruction array is non-pipelined like the DL1.
+		il1Cfg.ReadLat, il1Cfg.WriteLat = ir_, iw
+		il1Cfg.ReadInterval, il1Cfg.WriteInterval = 0, 0
+	}
+	il1 := cache.New(il1Cfg, l2)
+	var imem mem.Port = il1
+	switch cfg.IL1FrontEnd {
+	case FEDirect:
+		// fetch straight from the IL1
+	case FEEMSHR:
+		imem = core.NewEMSHR(core.EMSHRConfig{SizeBits: cfg.BufferBits, LineSize: 64, HitLat: 1, BeatBytes: 32}, il1)
+	default:
+		return nil, fmt.Errorf("sim: unsupported IL1 front-end %v", cfg.IL1FrontEnd)
+	}
+	// SRAM arrays at core clock are pipelined (initiation interval 1);
+	// the STT-MRAM array's long differential sense is not — an access
+	// occupies its bank for the full latency, which is exactly the
+	// promotion-conflict effect §IV describes for the banked NVM array.
+	dl1Cfg := cache.Config{
+		Name: "DL1", Size: DL1Size, Assoc: DL1Assoc, LineSize: line, Banks: cfg.DL1Banks,
+		ReadLat: rd, WriteLat: wr, MSHRs: 4, WriteBufDepth: 4,
+	}
+	if cfg.DL1Cell == tech.SRAM6T {
+		dl1Cfg.ReadInterval, dl1Cfg.WriteInterval = 1, 1
+	}
+	dl1 := cache.New(dl1Cfg, l2)
+
+	var fe core.FrontEnd
+	switch cfg.FrontEnd {
+	case FEDirect:
+		fe = core.NewDirect(dl1)
+	case FEVWB:
+		tc := cfg.VWBTransfer
+		if tc == 0 {
+			tc = 1
+		}
+		fe = core.NewVWB(core.VWBConfig{
+			SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1,
+			TransferCycles: tc, Policy: cfg.VWBPolicy,
+		}, dl1)
+	case FEL0:
+		fe = core.NewL0(core.L0Config{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1)
+	case FEEMSHR:
+		fe = core.NewEMSHR(core.EMSHRConfig{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1)
+	default:
+		return nil, fmt.Errorf("sim: unknown front-end %v", cfg.FrontEnd)
+	}
+
+	c := &cpu.CPU{Cfg: cfg.CPU, IMem: imem, DMem: fe}
+	return &System{Cfg: cfg, CPU: c, IL1: il1, DL1: dl1, L2: l2, DRAM: dram, FE: fe, DL1Model: model}, nil
+}
+
+// RunResult is the outcome of one kernel on one configuration.
+type RunResult struct {
+	Config Config
+	Bench  string
+	CPU    *cpu.Result
+
+	FEStats, DL1Stats, L2Stats, IL1Stats mem.Stats
+	DL1BankConflictCycles                int64
+}
+
+// ResetTiming clears every component's clocks and counters while keeping
+// cache and buffer contents.
+func (s *System) ResetTiming() {
+	s.IL1.ResetTiming()
+	s.DL1.ResetTiming()
+	s.L2.ResetTiming()
+	s.DRAM.Reset()
+	s.FE.ResetTiming()
+}
+
+// RunCompiled executes a compiled kernel on the system: a warm-up pass
+// (unless the configuration says ColdStart), a timing reset, and the
+// measured pass. The data segment is re-initialized for each pass.
+func (s *System) RunCompiled(ck *compile.Compiled) (*RunResult, error) {
+	if !s.Cfg.ColdStart {
+		if _, err := s.runOnce(ck); err != nil {
+			return nil, err
+		}
+		s.ResetTiming()
+	}
+	return s.runOnce(ck)
+}
+
+// runOnce executes one pass over the kernel.
+func (s *System) runOnce(ck *compile.Compiled) (*RunResult, error) {
+	st := cpu.NewState(ck.Prog)
+	if err := ir.InitData(ck.Kernel, st.Mem); err != nil {
+		return nil, err
+	}
+	res, err := s.CPU.RunState(ck.Prog, st)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+	}
+	return &RunResult{
+		Config:                s.Cfg,
+		Bench:                 ck.Prog.Name,
+		CPU:                   res,
+		FEStats:               s.FE.Stats(),
+		DL1Stats:              s.DL1.Stats(),
+		L2Stats:               s.L2.Stats(),
+		IL1Stats:              s.IL1.Stats(),
+		DL1BankConflictCycles: s.DL1.BankConflictCycles,
+	}, nil
+}
+
+// Run compiles k with the configuration's options (line size forced to
+// the DL1 line) and executes it on a freshly assembled system.
+func Run(k *ir.Kernel, cfg Config) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	opts := cfg.Compile
+	if opts.LineSize == 0 {
+		opts.LineSize = 64 // prefetch/alignment granule: the larger line
+	}
+	ck, err := compile.Compile(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.RunCompiled(ck)
+}
+
+// MustRun is Run for known-good configurations.
+func MustRun(k *ir.Kernel, cfg Config) *RunResult {
+	r, err := Run(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

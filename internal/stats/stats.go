@@ -1,0 +1,241 @@
+// Package stats holds the small numeric and formatting helpers shared by
+// the experiment runners: penalty arithmetic, aggregation, and
+// paper-style text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Penalty returns the percentage slowdown of v relative to base, the
+// paper's primary metric ("SRAM D-cache baseline = 100%").
+func Penalty(base, v int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(v-base) / float64(base)
+}
+
+// Gain returns the percentage speedup of opt relative to base (Fig. 9's
+// "performance gain" metric).
+func Gain(base, opt int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-opt) / float64(base)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMeanRatio returns the geometric mean of (100+x)/100 slowdown
+// factors, expressed back as a percentage penalty. More robust than the
+// arithmetic mean when penalties vary widely.
+func GeoMeanRatio(penalties []float64) float64 {
+	if len(penalties) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range penalties {
+		s += math.Log(1 + p/100)
+	}
+	return 100 * (math.Exp(s/float64(len(penalties))) - 1)
+}
+
+// Shares normalizes xs to percentages of their positive sum; negative
+// entries contribute zero (used for contribution breakdowns).
+func Shares(xs []float64) []float64 {
+	total := 0.0
+	clamped := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			clamped[i] = x
+			total += x
+		}
+	}
+	out := make([]float64, len(xs))
+	if total == 0 {
+		return out
+	}
+	for i, x := range clamped {
+		out[i] = 100 * x / total
+	}
+	return out
+}
+
+// Series is one named sequence of per-benchmark values (a bar group of a
+// paper figure).
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Figure is the data behind one paper figure: per-benchmark groups of
+// series values plus an AVERAGE column.
+type Figure struct {
+	ID      string // "fig1", ...
+	Title   string
+	Metric  string // y-axis label, e.g. "Performance Penalty (%)"
+	Benches []string
+	Series  []Series
+	// Notes carries reproduction commentary shown under the figure.
+	Notes []string
+}
+
+// WithAverage returns a copy of f with an AVERAGE column appended to
+// every series.
+func (f Figure) WithAverage() Figure {
+	out := f
+	out.Benches = append(append([]string{}, f.Benches...), "AVERAGE")
+	out.Series = make([]Series, len(f.Series))
+	for i, s := range f.Series {
+		vs := append([]float64{}, s.Values...)
+		vs = append(vs, Mean(s.Values))
+		out.Series[i] = Series{Label: s.Label, Values: vs}
+	}
+	return out
+}
+
+// Render draws the figure as a fixed-width text table.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "metric: %s\n", f.Metric)
+
+	w := 10
+	for _, bn := range f.Benches {
+		if len(bn)+2 > w {
+			w = len(bn) + 2
+		}
+	}
+	lw := 28
+	for _, s := range f.Series {
+		if len(s.Label)+2 > lw {
+			lw = len(s.Label) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", lw, "")
+	for _, bn := range f.Benches {
+		fmt.Fprintf(&b, "%*s", w, bn)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-*s", lw, s.Label)
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, "%*.1f", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Table is a generic text table (Table I and ablation summaries).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render draws the table with aligned columns.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values (series per row),
+// for plotting outside the CLI.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("series")
+	for _, bn := range f.Benches {
+		b.WriteByte(',')
+		b.WriteString(bn)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		b.WriteString(csvEscape(s.Label))
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, ",%.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

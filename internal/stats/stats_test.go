@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPenaltyAndGain(t *testing.T) {
+	if got := Penalty(100, 154); got != 54 {
+		t.Errorf("Penalty = %v", got)
+	}
+	if got := Penalty(100, 92); got != -8 {
+		t.Errorf("negative penalty = %v", got)
+	}
+	if Penalty(0, 5) != 0 {
+		t.Error("zero base must not divide")
+	}
+	if got := Gain(200, 100); got != 50 {
+		t.Errorf("Gain = %v", got)
+	}
+	if Gain(0, 5) != 0 {
+		t.Error("zero base gain")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMeanRatio(t *testing.T) {
+	if GeoMeanRatio(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	// Uniform penalties pass through unchanged.
+	if got := GeoMeanRatio([]float64{25, 25}); math.Abs(got-25) > 1e-9 {
+		t.Errorf("uniform geomean = %v", got)
+	}
+	// Geomean of x% and 0% is below the arithmetic mean.
+	am := Mean([]float64{50, 0})
+	gm := GeoMeanRatio([]float64{50, 0})
+	if gm >= am {
+		t.Errorf("geomean %v must be < arithmetic mean %v", gm, am)
+	}
+}
+
+func TestShares(t *testing.T) {
+	got := Shares([]float64{30, 10, -5})
+	if got[0] != 75 || got[1] != 25 || got[2] != 0 {
+		t.Errorf("shares = %v", got)
+	}
+	if got := Shares([]float64{-1, -2}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("all-negative shares = %v", got)
+	}
+}
+
+func TestSharesSumProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a), float64(b), float64(c)}
+		sh := Shares(xs)
+		sum := sh[0] + sh[1] + sh[2]
+		if a == 0 && b == 0 && c == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-100) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigureWithAverage(t *testing.T) {
+	f := Figure{
+		ID:      "figx",
+		Benches: []string{"a", "b"},
+		Series:  []Series{{Label: "s", Values: []float64{10, 30}}},
+	}
+	g := f.WithAverage()
+	if len(g.Benches) != 3 || g.Benches[2] != "AVERAGE" {
+		t.Errorf("benches = %v", g.Benches)
+	}
+	if got := g.Series[0].Values[2]; got != 20 {
+		t.Errorf("average = %v", got)
+	}
+	// The original must be untouched.
+	if len(f.Benches) != 2 || len(f.Series[0].Values) != 2 {
+		t.Error("WithAverage mutated the receiver")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		ID:      "fig1",
+		Title:   "Test figure",
+		Metric:  "Penalty (%)",
+		Benches: []string{"gemm", "atax"},
+		Series:  []Series{{Label: "Drop-in", Values: []float64{42.123, 7}}},
+		Notes:   []string{"a note"},
+	}
+	out := f.Render()
+	for _, want := range []string{"FIG1", "Test figure", "gemm", "atax", "Drop-in", "42.1", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID:      "table1",
+		Title:   "Params",
+		Columns: []string{"Parameter", "SRAM", "STT"},
+		Rows: [][]string{
+			{"Read Latency", "0.787ns", "3.37ns"},
+			{"Area", "146F2", "42F2"},
+		},
+		Notes: []string{"calibrated"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"TABLE1", "Read Latency", "3.37ns", "146F2", "note: calibrated", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must align: every row line has the same prefix width up to
+	// the second column.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("short render:\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{
+		Benches: []string{"a", "b"},
+		Series:  []Series{{Label: "x,y", Values: []float64{1, 2.5}}},
+	}
+	out := f.CSV()
+	want := "series,a,b\n\"x,y\",1.000,2.500\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{
+		Columns: []string{"p", "v"},
+		Rows:    [][]string{{"read", "3.37ns"}},
+	}
+	if out := tb.CSV(); out != "p,v\nread,3.37ns\n" {
+		t.Errorf("CSV = %q", out)
+	}
+}

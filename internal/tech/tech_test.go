@@ -1,0 +1,174 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableICalibration pins the model to the paper's Table I numbers.
+func TestTableICalibration(t *testing.T) {
+	sram := MustCompute(DefaultArray(SRAM6T))
+	stt := MustCompute(DefaultArray(STT2T2MTJ))
+
+	within := func(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+	if !within(sram.ReadNs, 0.787, 0.005) {
+		t.Errorf("SRAM read = %.4f ns, want 0.787", sram.ReadNs)
+	}
+	if !within(sram.WriteNs, 0.773, 0.005) {
+		t.Errorf("SRAM write = %.4f ns, want 0.773", sram.WriteNs)
+	}
+	if !within(stt.ReadNs, 3.37, 0.01) {
+		t.Errorf("STT read = %.4f ns, want 3.37", stt.ReadNs)
+	}
+	if !within(stt.WriteNs, 1.86, 0.01) {
+		t.Errorf("STT write = %.4f ns, want 1.86", stt.WriteNs)
+	}
+	if !within(stt.LeakageMW, 28.35, 0.05) {
+		t.Errorf("STT leakage = %.3f mW, want 28.35", stt.LeakageMW)
+	}
+	if sram.CellAreaF2 != 146 || stt.CellAreaF2 != 42 {
+		t.Errorf("cell areas %v/%v, want 146/42", sram.CellAreaF2, stt.CellAreaF2)
+	}
+	if sram.Config.LineBits != 256 || stt.Config.LineBits != 512 {
+		t.Errorf("line bits %d/%d, want 256/512", sram.Config.LineBits, stt.Config.LineBits)
+	}
+}
+
+// TestCyclesAtOneGHz checks the paper's §III simulation assumption: read
+// 4x and write 2x the SRAM cycle.
+func TestCyclesAtOneGHz(t *testing.T) {
+	sr, sw := MustCompute(DefaultArray(SRAM6T)).CyclesAt(1.0)
+	tr, tw := MustCompute(DefaultArray(STT2T2MTJ)).CyclesAt(1.0)
+	if sr != 1 || sw != 1 {
+		t.Errorf("SRAM cycles %d/%d, want 1/1", sr, sw)
+	}
+	if tr != 4 || tw != 2 {
+		t.Errorf("STT cycles %d/%d, want 4/2", tr, tw)
+	}
+}
+
+func TestCyclesAtFloor(t *testing.T) {
+	m := MustCompute(DefaultArray(SRAM6T))
+	r, w := m.CyclesAt(0.1) // 100 MHz: everything fits in one cycle
+	if r != 1 || w != 1 {
+		t.Errorf("cycles at 0.1 GHz = %d/%d, want 1/1", r, w)
+	}
+}
+
+// TestAreaAdvantage verifies the paper's claim that the NVM's density
+// would allow 2-3x the capacity in the same area.
+func TestAreaAdvantage(t *testing.T) {
+	sram := MustCompute(DefaultArray(SRAM6T))
+	stt := MustCompute(DefaultArray(STT2T2MTJ))
+	ratio := sram.AreaMM2 / stt.AreaMM2
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("area ratio = %.2f, want within the paper's 2-3x (plus margin)", ratio)
+	}
+}
+
+func TestNonVolatility(t *testing.T) {
+	if MustCompute(DefaultArray(SRAM6T)).RetentionNonVol {
+		t.Error("SRAM must be volatile")
+	}
+	for _, k := range []CellKind{STT2T2MTJ, STT1T1MTJ, PRAM, ReRAM} {
+		if !MustCompute(DefaultArray(k)).RetentionNonVol {
+			t.Errorf("%v must be non-volatile", k)
+		}
+	}
+}
+
+// TestLatencyOrdering encodes the paper's technology survey (§I): PRAM's
+// write is hopeless at L1; ReRAM reads are fast-ish but endurance-bound.
+func TestLatencyOrdering(t *testing.T) {
+	stt := MustCompute(DefaultArray(STT2T2MTJ))
+	pram := MustCompute(DefaultArray(PRAM))
+	if pram.WriteNs < 10*stt.WriteNs {
+		t.Errorf("PRAM write %.1f ns should dwarf STT's %.2f ns", pram.WriteNs, stt.WriteNs)
+	}
+	if Cells[PRAM].EnduranceLog10 >= Cells[STT2T2MTJ].EnduranceLog10 {
+		t.Error("PRAM endurance must be far below STT-MRAM's")
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(ArrayConfig{Cell: CellKind(99), Capacity: 1024, LineBits: 256, NodeNm: 32}); err == nil {
+		t.Error("unknown cell must fail")
+	}
+	if _, err := Compute(ArrayConfig{Cell: SRAM6T, Capacity: 0, LineBits: 256, NodeNm: 32}); err == nil {
+		t.Error("zero capacity must fail")
+	}
+	if _, err := Compute(ArrayConfig{Cell: SRAM6T, Capacity: 1024, LineBits: 0, NodeNm: 32}); err == nil {
+		t.Error("zero line bits must fail")
+	}
+}
+
+func TestMustComputePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustCompute(ArrayConfig{Cell: SRAM6T})
+}
+
+// Property: latency, leakage and area are monotone non-decreasing in
+// capacity for every cell.
+func TestMonotoneInCapacity(t *testing.T) {
+	f := func(rawKB uint8, kindSel uint8) bool {
+		kinds := []CellKind{SRAM6T, STT2T2MTJ, STT1T1MTJ, PRAM, ReRAM}
+		kind := kinds[int(kindSel)%len(kinds)]
+		kb := 8 << (int(rawKB) % 6) // 8..256 KB
+		small := DefaultArray(kind)
+		small.Capacity = kb << 10
+		big := small
+		big.Capacity = 2 * small.Capacity
+		ms, err1 := Compute(small)
+		mb, err2 := Compute(big)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return mb.ReadNs >= ms.ReadNs && mb.WriteNs >= ms.WriteNs &&
+			mb.AreaMM2 > ms.AreaMM2 && mb.LeakageMW >= ms.LeakageMW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the STT read penalty ratio over SRAM grows as arrays shrink
+// (the fixed sense time dominates), which is why the paper targets L1.
+func TestSensePenaltyDominatesAtL1(t *testing.T) {
+	ratioAt := func(capacity int) float64 {
+		s := DefaultArray(SRAM6T)
+		s.Capacity = capacity
+		n := DefaultArray(STT2T2MTJ)
+		n.Capacity = capacity
+		return MustCompute(n).ReadNs / MustCompute(s).ReadNs
+	}
+	if r64, r2M := ratioAt(64<<10), ratioAt(2<<20); r64 <= r2M {
+		t.Errorf("read ratio at 64KB (%.2f) should exceed 2MB (%.2f)", r64, r2M)
+	}
+}
+
+func TestEnduranceHorizon(t *testing.T) {
+	stt := MustCompute(DefaultArray(STT2T2MTJ))
+	// 1e15 writes/line spread over 1024 lines at 1 GHz is decades.
+	if stt.EnduranceYears < 10 {
+		t.Errorf("STT endurance horizon %.1f years, expected decades", stt.EnduranceYears)
+	}
+	pram := MustCompute(DefaultArray(PRAM))
+	if pram.EnduranceYears > stt.EnduranceYears/1000 {
+		t.Errorf("PRAM horizon %.4f should be orders of magnitude below STT %.1f", pram.EnduranceYears, stt.EnduranceYears)
+	}
+}
+
+func TestCellKindString(t *testing.T) {
+	if SRAM6T.String() != "SRAM-6T" || STT2T2MTJ.String() != "STT-2T2MTJ" {
+		t.Error("cell names wrong")
+	}
+	if CellKind(42).String() == "" {
+		t.Error("unknown kind must stringify")
+	}
+}

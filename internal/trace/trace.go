@@ -1,0 +1,156 @@
+// Package trace captures, summarizes, and replays data-side memory
+// access traces. A Recorder wraps any mem.Port (typically the DL1
+// front-end) and logs every request with its issue and completion
+// cycles; the trace can then be analyzed (stream detection, line reuse
+// distances, per-kind mix) or replayed against a different hierarchy —
+// the classic trace-driven-simulation workflow.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sttdl1/internal/mem"
+)
+
+// Event is one recorded access.
+type Event struct {
+	Now   int64
+	Done  int64
+	Addr  mem.Addr
+	Bytes int
+	Kind  mem.Kind
+}
+
+// Recorder is a mem.Port that records everything passing through it.
+type Recorder struct {
+	Inner  mem.Port
+	Events []Event
+	// Limit bounds the number of recorded events (0 = unlimited); the
+	// recorder keeps counting but stops storing beyond it.
+	Limit   int
+	Dropped uint64
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner mem.Port, limit int) *Recorder {
+	return &Recorder{Inner: inner, Limit: limit}
+}
+
+// Access implements mem.Port.
+func (r *Recorder) Access(now int64, req mem.Req) int64 {
+	done := r.Inner.Access(now, req)
+	if r.Limit > 0 && len(r.Events) >= r.Limit {
+		r.Dropped++
+		return done
+	}
+	r.Events = append(r.Events, Event{Now: now, Done: done, Addr: req.Addr, Bytes: req.Bytes, Kind: req.Kind})
+	return done
+}
+
+// Replay pushes the recorded requests into port at their original issue
+// cycles and returns the completion cycle of the last one.
+func Replay(events []Event, port mem.Port) int64 {
+	var last int64
+	for _, e := range events {
+		done := port.Access(e.Now, mem.Req{Addr: e.Addr, Bytes: e.Bytes, Kind: e.Kind})
+		if done > last {
+			last = done
+		}
+	}
+	return last
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Events      int
+	ByKind      map[mem.Kind]int
+	UniqueLines int
+	// AvgLatency is mean (Done-Now) over demand reads.
+	AvgReadLatency float64
+	// MedianReuse is the median line reuse distance (distinct lines
+	// touched between consecutive accesses to the same line); -1 when no
+	// line is ever reused.
+	MedianReuse int
+	// Footprint is the touched byte span (max - min address).
+	Footprint int64
+}
+
+// Summarize computes trace statistics with lineSize-aligned reuse
+// analysis.
+func Summarize(events []Event, lineSize int) Summary {
+	s := Summary{ByKind: map[mem.Kind]int{}, Events: len(events), MedianReuse: -1}
+	if len(events) == 0 {
+		return s
+	}
+	if lineSize <= 0 {
+		lineSize = 64
+	}
+	lastSeen := map[mem.Addr]int{} // line -> index in line-access sequence
+	var reuses []int
+	seq := 0
+	var readLat, reads int64
+	minAddr, maxAddr := events[0].Addr, events[0].Addr
+
+	for _, e := range events {
+		s.ByKind[e.Kind]++
+		if e.Addr < minAddr {
+			minAddr = e.Addr
+		}
+		if a := e.Addr + mem.Addr(e.Bytes); a > maxAddr {
+			maxAddr = a
+		}
+		if e.Kind == mem.Read {
+			readLat += e.Done - e.Now
+			reads++
+		}
+		line := mem.LineAddr(e.Addr, lineSize)
+		if prev, ok := lastSeen[line]; ok {
+			reuses = append(reuses, seq-prev)
+		}
+		lastSeen[line] = seq
+		seq++
+	}
+	s.UniqueLines = len(lastSeen)
+	s.Footprint = int64(maxAddr - minAddr)
+	if reads > 0 {
+		s.AvgReadLatency = float64(readLat) / float64(reads)
+	}
+	if len(reuses) > 0 {
+		sort.Ints(reuses)
+		s.MedianReuse = reuses[len(reuses)/2]
+	}
+	return s
+}
+
+// String renders the summary for the stttrace tool.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events          %d\n", s.Events)
+	kinds := make([]mem.Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-13s %d\n", k.String(), s.ByKind[k])
+	}
+	fmt.Fprintf(&b, "unique lines    %d\n", s.UniqueLines)
+	fmt.Fprintf(&b, "footprint       %d bytes\n", s.Footprint)
+	fmt.Fprintf(&b, "avg read lat    %.2f cycles\n", s.AvgReadLatency)
+	fmt.Fprintf(&b, "median reuse    %d accesses\n", s.MedianReuse)
+	return b.String()
+}
+
+// Dump renders up to n events as text lines (for inspection).
+func Dump(events []Event, n int) string {
+	if n <= 0 || n > len(events) {
+		n = len(events)
+	}
+	var b strings.Builder
+	for _, e := range events[:n] {
+		fmt.Fprintf(&b, "%10d %-9s %#010x +%-3d done=%d\n", e.Now, e.Kind, e.Addr, e.Bytes, e.Done)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sttdl1/internal/mem"
+)
+
+func TestRecorderCapturesAndForwards(t *testing.T) {
+	inner := &mem.FixedPort{Latency: 5}
+	r := NewRecorder(inner, 0)
+	done := r.Access(10, mem.Req{Addr: 0x40, Bytes: 4, Kind: mem.Read})
+	if done != 15 {
+		t.Errorf("done = %d", done)
+	}
+	if len(r.Events) != 1 {
+		t.Fatalf("events = %d", len(r.Events))
+	}
+	e := r.Events[0]
+	if e.Now != 10 || e.Done != 15 || e.Addr != 0x40 || e.Kind != mem.Read {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(&mem.FixedPort{Latency: 1}, 3)
+	for i := 0; i < 10; i++ {
+		r.Access(int64(i), mem.Req{Addr: mem.Addr(i), Bytes: 4, Kind: mem.Read})
+	}
+	if len(r.Events) != 3 {
+		t.Errorf("stored %d events, want 3", len(r.Events))
+	}
+	if r.Dropped != 7 {
+		t.Errorf("dropped = %d, want 7", r.Dropped)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	src := NewRecorder(&mem.FixedPort{Latency: 2}, 0)
+	for i := 0; i < 5; i++ {
+		src.Access(int64(10*i), mem.Req{Addr: mem.Addr(64 * i), Bytes: 4, Kind: mem.Read})
+	}
+	dst := &mem.FixedPort{Latency: 9}
+	last := Replay(src.Events, dst)
+	if dst.Count != 5 {
+		t.Errorf("replayed %d", dst.Count)
+	}
+	if last != 49 { // last issued at 40, +9
+		t.Errorf("last = %d", last)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Now: 0, Done: 5, Addr: 0, Bytes: 4, Kind: mem.Read},
+		{Now: 1, Done: 2, Addr: 64, Bytes: 4, Kind: mem.Write},
+		{Now: 2, Done: 9, Addr: 4, Bytes: 4, Kind: mem.Read}, // reuse line 0, dist 2
+		{Now: 3, Done: 3, Addr: 128, Bytes: 16, Kind: mem.Prefetch},
+	}
+	s := Summarize(events, 64)
+	if s.Events != 4 {
+		t.Errorf("events = %d", s.Events)
+	}
+	if s.UniqueLines != 3 {
+		t.Errorf("unique lines = %d", s.UniqueLines)
+	}
+	if s.ByKind[mem.Read] != 2 || s.ByKind[mem.Write] != 1 || s.ByKind[mem.Prefetch] != 1 {
+		t.Errorf("by kind = %v", s.ByKind)
+	}
+	if s.AvgReadLatency != 6 { // (5 + 7) / 2
+		t.Errorf("avg read latency = %v", s.AvgReadLatency)
+	}
+	if s.MedianReuse != 2 {
+		t.Errorf("median reuse = %d", s.MedianReuse)
+	}
+	if s.Footprint != 144-0 {
+		t.Errorf("footprint = %d", s.Footprint)
+	}
+	text := s.String()
+	if !strings.Contains(text, "unique lines    3") {
+		t.Errorf("summary text:\n%s", text)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 64)
+	if s.Events != 0 || s.MedianReuse != -1 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestDump(t *testing.T) {
+	events := []Event{
+		{Now: 1, Done: 2, Addr: 0x40, Bytes: 4, Kind: mem.Read},
+		{Now: 3, Done: 4, Addr: 0x80, Bytes: 4, Kind: mem.Write},
+	}
+	out := Dump(events, 1)
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("dump of 1 event:\n%s", out)
+	}
+	if !strings.Contains(out, "read") {
+		t.Error("kind missing from dump")
+	}
+	if out = Dump(events, 0); strings.Count(out, "\n") != 2 {
+		t.Error("n=0 must dump everything")
+	}
+}
