@@ -14,10 +14,12 @@
 package sttdl1_test
 
 import (
+	"runtime"
 	"testing"
 
 	"sttdl1/internal/experiments"
 	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
 	"sttdl1/internal/tech"
 )
@@ -185,6 +187,59 @@ func BenchmarkAblationReadLat(b *testing.B) {
 		worst = lastAvg(f, "drop-in, read=6cy")
 	}
 	b.ReportMetric(worst, "dropin_6cy_avg_penalty_pct")
+}
+
+// suiteMatrixBenches is the workload for the serial-vs-parallel engine
+// benchmarks: eight kernels at moderate sizes, enough work per config to
+// make the fan-out visible but small enough for -bench iterations.
+func suiteMatrixBenches() []polybench.Bench {
+	names := []string{"gemm", "atax", "bicg", "mvt", "syrk", "trisolv", "2mm", "gesummv"}
+	out := make([]polybench.Bench, 0, len(names))
+	for _, n := range names {
+		b, ok := polybench.ByName(n)
+		if !ok {
+			panic("unknown benchmark " + n)
+		}
+		if b.Default > 32 {
+			b.Default = 32
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// runSuiteMatrix executes the Fig. 3 matrix (3 configurations × 8
+// kernels) on a fresh suite with the given worker count.
+func runSuiteMatrix(b *testing.B, jobs int) {
+	benches := suiteMatrixBenches()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuiteJobs(benches, jobs)
+		if err := s.Prefetch(benches, sim.BaselineSRAM(), sim.DropInSTT(), sim.ProposalVWB()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(jobs), "workers")
+}
+
+// BenchmarkSuiteSerial is the -j 1 reference point for the parallel run
+// engine: the whole matrix through one worker.
+func BenchmarkSuiteSerial(b *testing.B) { runSuiteMatrix(b, 1) }
+
+// BenchmarkSuiteParallel fans the same matrix out over at least four
+// workers (more when GOMAXPROCS allows); the ns/op ratio against
+// BenchmarkSuiteSerial is the engine's speedup (the output itself is
+// bit-identical, see TestFig3DeterministicUnderParallelism). On a
+// single-core host the two converge — the interesting delta then is the
+// engine's overhead, which should stay within noise.
+func BenchmarkSuiteParallel(b *testing.B) {
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs < 4 {
+		jobs = 4
+	}
+	runSuiteMatrix(b, jobs)
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated

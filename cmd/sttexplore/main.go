@@ -5,27 +5,33 @@
 // Usage:
 //
 //	sttexplore list
-//	sttexplore run [-bench name,name] [-v] <id>|all|paper
+//	sttexplore run [-bench name,name] [-j N] [-v] <id>|all|paper
 //	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-v] <kernel>
 //
 // Examples:
 //
 //	sttexplore run fig1          # the drop-in motivation experiment
 //	sttexplore run paper         # Table I + Figs. 1,3-9
-//	sttexplore run all           # paper artifacts + ablations
+//	sttexplore run -j 8 all      # paper artifacts + ablations, 8 workers
 //	sttexplore bench -cfg vwb -opt gemm
+//
+// Simulations fan out over -j workers (default GOMAXPROCS); figures are
+// bit-identical at any -j by the determinism contract (DESIGN.md §7).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sttdl1/internal/compile"
 	"sttdl1/internal/experiments"
 	"sttdl1/internal/polybench"
 	"sttdl1/internal/sim"
+	"sttdl1/internal/stats"
 )
 
 func main() {
@@ -57,8 +63,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sttexplore list
-  sttexplore run [-bench a,b,...] [-v] [-csv] <id>|all|paper
-  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] <kernel>`)
+  sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] <id>|all|paper
+  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] <kernel>
+
+run flags:
+  -j N    run up to N simulations in parallel (0 = GOMAXPROCS);
+          output is bit-identical at any -j
+  -v      log each completed simulation + a final engine summary`)
 }
 
 func cmdList() error {
@@ -82,6 +93,7 @@ func cmdRun(args []string) error {
 	benchList := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
 	verbose := fs.Bool("v", false, "log each simulation")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,12 +105,13 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	suite := experiments.NewSuite(benches)
-	if *verbose {
-		suite.Verbose = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
+	suite := experiments.NewSuiteJobs(benches, *jobs)
+	var counters stats.Counters
+	progress := newProgressLine(os.Stderr, *verbose)
+	suite.SetProgress(func(ev stats.RunEvent) {
+		counters.Observe(ev)
+		progress.observe(ev)
+	})
 
 	id := fs.Arg(0)
 	var runners []experiments.Runner
@@ -118,18 +131,71 @@ func cmdRun(args []string) error {
 		}
 		runners = []experiments.Runner{r}
 	}
-	for _, r := range runners {
-		res, err := r.Run(suite)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
-		}
+
+	start := time.Now()
+	results, err := experiments.Results(context.Background(), suite, runners)
+	progress.clear()
+	if err != nil {
+		return err
+	}
+	for i, r := range runners {
 		if *csv {
-			fmt.Printf("# %s\n%s\n", r.ID, res.CSV())
+			fmt.Printf("# %s\n%s\n", r.ID, results[i].CSV())
 		} else {
-			fmt.Println(res.String())
+			fmt.Println(results[i].String())
 		}
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "engine: %s over %d worker(s), wall %s\n",
+			counters.Summary(), suite.Jobs(), time.Since(start).Round(time.Millisecond))
+	}
 	return nil
+}
+
+// progressLine renders engine progress on stderr: one log line per
+// completed simulation in verbose mode, otherwise a single in-place
+// live line (only when stderr is a terminal).
+type progressLine struct {
+	w       *os.File
+	verbose bool
+	live    bool
+	width   int
+}
+
+func newProgressLine(w *os.File, verbose bool) *progressLine {
+	live := false
+	if st, err := w.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+		live = !verbose
+	}
+	return &progressLine{w: w, verbose: verbose, live: live}
+}
+
+// observe is called serially by the run engine (stats.ProgressFunc).
+func (p *progressLine) observe(ev stats.RunEvent) {
+	if p.verbose {
+		fmt.Fprintf(p.w, "  ran %-44s %8s  [%d done, %d running, %d queued]\n",
+			ev.Label, ev.Wall.Round(time.Millisecond), ev.Done, ev.InFlight, ev.Queued)
+		return
+	}
+	if !p.live {
+		return
+	}
+	line := fmt.Sprintf("  %d sims done, %d running, %d queued — last %s (%s)",
+		ev.Done, ev.InFlight, ev.Queued, ev.Label, ev.Wall.Round(time.Millisecond))
+	pad := p.width - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, strings.Repeat(" ", pad))
+	p.width = len(line)
+}
+
+// clear erases the live line before the results are printed.
+func (p *progressLine) clear() {
+	if p.live && p.width > 0 {
+		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.width))
+		p.width = 0
+	}
 }
 
 func cmdBench(args []string) error {

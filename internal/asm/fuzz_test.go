@@ -1,0 +1,114 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"sttdl1/internal/isa"
+)
+
+// printProgram renders p the way the disassembler prints instructions —
+// one isa.Inst.String() per line (branch targets as relative offsets)
+// plus the .data directive — which is exactly the dialect Assemble
+// accepts back.
+func printProgram(p *isa.Program) string {
+	var b strings.Builder
+	if p.DataSize > 0 {
+		b.WriteString(".data ")
+		b.WriteString(itoa(p.DataSize))
+		b.WriteByte('\n')
+	}
+	for _, in := range p.Insts {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	var b [20]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(b[i:])
+}
+
+// FuzzAssembleRoundTrip is the assembler↔disassembler round-trip
+// property: whatever source Assemble accepts, printing the program and
+// re-assembling must (a) succeed, (b) reach a fixed point (print ∘
+// assemble is idempotent), and (c) — whenever no NaN float immediate is
+// involved — produce a byte-identical instruction image.
+func FuzzAssembleRoundTrip(f *testing.F) {
+	f.Add("add r1, r2, r3\nhalt\n")
+	f.Add(".data 64\nstart:\n  movi r1, #16\nloop:\n  subi r1, r1, #1\n  bne r1, zr, loop\n  halt\n")
+	f.Add("fmov f0, f1\nfmovi f2, #1.5\nvadd v0, v1, v2\n")
+	f.Add("ldr r4, [sp, #8]\nstrx r4, [r5, r6, lsl #2]\npld [r7, #64]\n")
+	f.Add("b +1\nhalt\nbeq r1, r2, -2\njr lr\n")
+	f.Add("; comment only\n")
+	f.Add("label: halt")
+	f.Add("movi r1, #0x7fffffff\nmovi r2, #-2147483648\n")
+
+	f.Fuzz(func(t *testing.T, source string) {
+		p, err := Assemble("fuzz", source)
+		if err != nil {
+			return // rejected sources only need to not panic
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Assemble produced invalid program: %v", err)
+		}
+
+		printed := printProgram(p)
+		p2, err := Assemble("fuzz", printed)
+		if err != nil {
+			t.Fatalf("re-assembly of printed program failed: %v\nprinted:\n%s", err, printed)
+		}
+		if len(p2.Insts) != len(p.Insts) || p2.DataSize != p.DataSize {
+			t.Fatalf("re-assembly changed shape: %d/%d insts, %d/%d data",
+				len(p.Insts), len(p2.Insts), p.DataSize, p2.DataSize)
+		}
+
+		// Fixed point: printing the re-assembled program reproduces the
+		// text exactly (this holds even for NaN immediates, whose bit
+		// patterns are canonicalized by the first print→parse).
+		if printed2 := printProgram(p2); printed2 != printed {
+			t.Fatalf("print ∘ assemble not idempotent:\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+		}
+
+		// Byte-identical round trip whenever no NaN payload is in play.
+		if !hasNaNImm(p) {
+			img, err := isa.EncodeProgram(p)
+			if err != nil {
+				t.Fatalf("EncodeProgram(original): %v", err)
+			}
+			img2, err := isa.EncodeProgram(p2)
+			if err != nil {
+				t.Fatalf("EncodeProgram(reassembled): %v", err)
+			}
+			if string(img) != string(img2) {
+				t.Fatalf("round trip changed encoding\noriginal:\n%s\nreassembled:\n%s",
+					p.Disassemble(), p2.Disassemble())
+			}
+		}
+	})
+}
+
+// hasNaNImm reports whether any FMOVI immediate is a NaN — the one case
+// where distinct bit patterns print identically ("NaN"), so only the
+// printed fixed point, not the bit image, can round-trip.
+func hasNaNImm(p *isa.Program) bool {
+	for _, in := range p.Insts {
+		if in.Op == isa.OpFMOVI {
+			f := isa.F32FromBits(in.Imm)
+			if f != f {
+				return true
+			}
+		}
+	}
+	return false
+}

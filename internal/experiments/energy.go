@@ -66,6 +66,9 @@ func (s *Suite) EnergyTable() (stats.Table, error) {
 		{sim.DropInSTT(), sttModel, false},
 		{sim.ProposalVWB(), sttModel, true},
 	}
+	if err := s.Prefetch(s.Benches, sim.BaselineSRAM(), sim.DropInSTT(), sim.ProposalVWB()); err != nil {
+		return stats.Table{}, err
+	}
 
 	t := stats.Table{
 		ID:      "energy",
@@ -125,6 +128,9 @@ func (s *Suite) LifetimeTable() (stats.Table, error) {
 		Columns: []string{"Benchmark", "Array writes/run", "Writes/line/s", "Lifetime (yrs, even wear)", "Lifetime (yrs, 100x hotspot)"},
 	}
 	cfg := sim.ProposalVWB()
+	if err := s.Prefetch(s.Benches, cfg); err != nil {
+		return stats.Table{}, err
+	}
 	for _, b := range s.Benches {
 		res, err := s.Run(b, cfg)
 		if err != nil {

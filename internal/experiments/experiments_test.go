@@ -171,18 +171,21 @@ func TestFig5And6Run(t *testing.T) {
 
 func TestSuiteMemoization(t *testing.T) {
 	s := fastSuite(t)
-	runs := 0
-	s.Verbose = func(string, ...any) { runs++ }
+	var c stats.Counters
+	s.SetProgress(c.Observe)
 	if _, err := s.Fig1(); err != nil {
 		t.Fatal(err)
 	}
-	afterFig1 := runs
+	afterFig1 := c.Runs()
+	if afterFig1 != s.SimsRun() {
+		t.Errorf("progress saw %d runs, pool reports %d", afterFig1, s.SimsRun())
+	}
 	// Fig3 reuses both Fig1 configurations and adds only the VWB runs.
 	if _, err := s.Fig3(); err != nil {
 		t.Fatal(err)
 	}
-	if runs-afterFig1 != len(s.Benches) {
-		t.Errorf("fig3 ran %d new sims, want %d (memoization broken)", runs-afterFig1, len(s.Benches))
+	if c.Runs()-afterFig1 != len(s.Benches) {
+		t.Errorf("fig3 ran %d new sims, want %d (memoization broken)", c.Runs()-afterFig1, len(s.Benches))
 	}
 }
 

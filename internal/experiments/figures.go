@@ -55,6 +55,13 @@ func (s *Suite) Fig3() (stats.Figure, error) {
 // "the read contribution far exceeds that of its write counterpart",
 // with the write share growing slightly on the more complex kernels.
 func (s *Suite) Fig4() (stats.Figure, error) {
+	readOnly := sim.ProposalVWB() // NVM read, SRAM-speed write
+	readOnly.DL1WriteLat = 1
+	writeOnly := sim.ProposalVWB() // SRAM-speed read, NVM write
+	writeOnly.DL1ReadLat = 1
+	if err := s.Prefetch(s.Benches, sim.ProposalVWB(), readOnly, writeOnly); err != nil {
+		return stats.Figure{}, err
+	}
 	reads := make([]float64, len(s.Benches))
 	writes := make([]float64, len(s.Benches))
 	for i, b := range s.Benches {
@@ -62,14 +69,10 @@ func (s *Suite) Fig4() (stats.Figure, error) {
 		if err != nil {
 			return stats.Figure{}, err
 		}
-		readOnly := sim.ProposalVWB() // NVM read, SRAM-speed write
-		readOnly.DL1WriteLat = 1
 		ro, err := s.Cycles(b, readOnly)
 		if err != nil {
 			return stats.Figure{}, err
 		}
-		writeOnly := sim.ProposalVWB() // SRAM-speed read, NVM write
-		writeOnly.DL1ReadLat = 1
 		wo, err := s.Cycles(b, writeOnly)
 		if err != nil {
 			return stats.Figure{}, err
@@ -143,6 +146,14 @@ func (s *Suite) Fig6() (stats.Figure, error) {
 		{"Vectorization", compile.Options{Vectorize: false, Prefetch: true, Branchless: true, Align: true}},
 		{"Pre-fetching", compile.Options{Vectorize: true, Prefetch: false, Branchless: true, Align: true}},
 		{"Others", compile.Options{Vectorize: true, Prefetch: true, Branchless: false, Align: false}},
+	}
+	leaveOneOut := make([]sim.Config, 0, len(variants)+1)
+	leaveOneOut = append(leaveOneOut, withOpts(prop, full))
+	for _, v := range variants {
+		leaveOneOut = append(leaveOneOut, withOpts(prop, v.opts))
+	}
+	if err := s.Prefetch(s.Benches, leaveOneOut...); err != nil {
+		return stats.Figure{}, err
 	}
 	series := make([]stats.Series, len(variants))
 	for vi := range variants {
@@ -258,6 +269,11 @@ func (s *Suite) Fig8() (stats.Figure, error) {
 // Paper: both gain; the optimized baseline ends up ~8% ahead of the
 // optimized proposal.
 func (s *Suite) Fig9() (stats.Figure, error) {
+	if err := s.Prefetch(s.Benches,
+		sim.BaselineSRAM(), withOpts(sim.BaselineSRAM(), allOpts()),
+		sim.ProposalVWB(), withOpts(sim.ProposalVWB(), allOpts())); err != nil {
+		return stats.Figure{}, err
+	}
 	baseGain := make([]float64, len(s.Benches))
 	propGain := make([]float64, len(s.Benches))
 	for i, b := range s.Benches {

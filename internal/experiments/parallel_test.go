@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+	"sttdl1/internal/stats"
+)
+
+// smallBenches returns the full benchmark set with problem sizes shrunk
+// so the whole Fig. 3 matrix simulates in seconds. Every benchmark stays
+// in the matrix — the determinism contract has to hold for all of them,
+// not a friendly subset.
+func smallBenches(t *testing.T) []polybench.Bench {
+	t.Helper()
+	benches := polybench.All()
+	for i := range benches {
+		if benches[i].Default > 20 {
+			benches[i].Default = 20
+		}
+	}
+	return benches
+}
+
+// TestFig3DeterministicUnderParallelism is the ISSUE's headline
+// determinism test: the full Fig. 3 matrix (every benchmark × baseline /
+// drop-in / VWB) run at -j 1 and at -j 8 must produce byte-identical
+// rendered output and identical raw series (DESIGN.md §7's contract,
+// regardless of worker count or completion order).
+func TestFig3DeterministicUnderParallelism(t *testing.T) {
+	benches := smallBenches(t)
+
+	serial := NewSuiteJobs(benches, 1)
+	parallel := NewSuiteJobs(benches, 8)
+	if serial.Jobs() != 1 || parallel.Jobs() != 8 {
+		t.Fatalf("jobs = %d / %d, want 1 / 8", serial.Jobs(), parallel.Jobs())
+	}
+
+	f1, err := serial.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := parallel.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal([]byte(f1.Render()), []byte(f8.Render())) {
+		t.Errorf("rendered Fig. 3 differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			f1.Render(), f8.Render())
+	}
+	if f1.CSV() != f8.CSV() {
+		t.Error("CSV output differs between -j 1 and -j 8")
+	}
+	if !reflect.DeepEqual(f1.Series, f8.Series) {
+		t.Errorf("raw series differ:\nj1: %+v\nj8: %+v", f1.Series, f8.Series)
+	}
+	if !reflect.DeepEqual(f1.Benches, f8.Benches) {
+		t.Errorf("bench columns differ: %v vs %v", f1.Benches, f8.Benches)
+	}
+}
+
+// TestPrefetchPopulatesFigures checks the fan-out/consume split: after a
+// Prefetch of the Fig. 1 matrix the figure itself must not execute any
+// new simulation.
+func TestPrefetchPopulatesFigures(t *testing.T) {
+	gemm, _ := polybench.ByName("gemm")
+	atax, _ := polybench.ByName("atax")
+	gemm.Default, atax.Default = 16, 40
+	s := NewSuiteJobs([]polybench.Bench{gemm, atax}, 4)
+
+	if err := s.Prefetch(s.Benches, sim.BaselineSRAM(), sim.DropInSTT()); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterPrefetch := s.SimsRun()
+	if runsAfterPrefetch != 4 {
+		t.Fatalf("prefetch executed %d sims, want 4", runsAfterPrefetch)
+	}
+	if _, err := s.Fig1(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SimsRun() != runsAfterPrefetch {
+		t.Errorf("Fig1 executed %d extra sims after prefetch", s.SimsRun()-runsAfterPrefetch)
+	}
+}
+
+// TestPrefetchSharedAcrossConcurrentFigures drives the dedup path the
+// way RunAll does: two figures that share configurations running
+// concurrently must not duplicate the shared simulations.
+func TestPrefetchSharedAcrossConcurrentFigures(t *testing.T) {
+	gemm, _ := polybench.ByName("gemm")
+	atax, _ := polybench.ByName("atax")
+	gemm.Default, atax.Default = 16, 40
+	s := NewSuiteJobs([]polybench.Bench{gemm, atax}, 8)
+
+	errc := make(chan error, 2)
+	go func() { _, err := s.Fig1(); errc <- err }()
+	go func() { _, err := s.Fig3(); errc <- err }()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fig1 needs {sram, dropin}, Fig3 needs {sram, dropin, vwb}: the
+	// union is 3 configs × 2 benches even though 5 config-series were
+	// requested in total.
+	if got := s.SimsRun(); got != 6 {
+		t.Errorf("concurrent figures executed %d sims, want 6 (dedup broken)", got)
+	}
+}
+
+// TestRunAllParallelMatchesSerial runs a slice of the registry through
+// the concurrent RunRunners engine at two worker counts and requires
+// byte-identical rendered output.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	gemm, _ := polybench.ByName("gemm")
+	atax, _ := polybench.ByName("atax")
+	gemm.Default, atax.Default = 16, 40
+	benches := []polybench.Bench{gemm, atax}
+
+	runners := make([]Runner, 0, 4)
+	for _, id := range []string{"fig1", "fig3", "fig4", "fig9"} {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing runner %q", id)
+		}
+		runners = append(runners, r)
+	}
+
+	render := func(jobs int) string {
+		var buf bytes.Buffer
+		s := NewSuiteJobs(benches, jobs)
+		if err := RunRunners(context.Background(), s, runners, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if j1, j8 := render(1), render(8); j1 != j8 {
+		t.Errorf("RunRunners output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+}
+
+// TestSuiteContextCancellation: a canceled context must stop a batch
+// with context.Canceled instead of running it to completion.
+func TestSuiteContextCancellation(t *testing.T) {
+	gemm, _ := polybench.ByName("gemm")
+	gemm.Default = 16
+	s := NewSuiteJobs([]polybench.Bench{gemm}, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.WithContext(ctx).Run(gemm, sim.BaselineSRAM())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.SimsRun() != 0 {
+		t.Errorf("%d sims ran under a canceled context", s.SimsRun())
+	}
+}
+
+// TestProgressCountersUnderParallelism: the progress stream must account
+// for exactly the executed simulations and respect the worker bound.
+func TestProgressCountersUnderParallelism(t *testing.T) {
+	benches := smallBenches(t)[:6]
+	s := NewSuiteJobs(benches, 3)
+	var c stats.Counters
+	s.SetProgress(c.Observe)
+	if err := s.Prefetch(benches, sim.BaselineSRAM(), sim.DropInSTT()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs() != 12 {
+		t.Errorf("counters saw %d runs, want 12", c.Runs())
+	}
+	if c.MaxInFlight() > 3 {
+		t.Errorf("peak in-flight %d exceeds -j 3", c.MaxInFlight())
+	}
+	if c.BusyTime() <= 0 {
+		t.Error("busy time not accumulated")
+	}
+}

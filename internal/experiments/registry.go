@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"sttdl1/internal/stats"
 )
@@ -96,14 +99,67 @@ func IDs() []string {
 }
 
 // RunAll executes every registered experiment on the suite, writing each
-// rendered artifact to w.
+// rendered artifact to w in registry order.
 func RunAll(s *Suite, w io.Writer) error {
-	for _, r := range Registry() {
-		res, err := r.Run(s)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
-		}
+	return RunRunners(context.Background(), s, Registry(), w)
+}
+
+// RunRunners executes the given runners concurrently on the suite and
+// writes the rendered artifacts to w in runner order.
+func RunRunners(ctx context.Context, s *Suite, runners []Runner, w io.Writer) error {
+	results, err := Results(ctx, s, runners)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
 		fmt.Fprintln(w, res.String())
 	}
 	return nil
+}
+
+// Results executes the given runners concurrently on the suite — the
+// memoizing pool deduplicates the simulations they share — and returns
+// their artifacts in runner order, never completion order, so rendered
+// output is deterministic at any worker count. The first error (scanning
+// in runner order) cancels the queued work of the remaining runners and
+// is returned.
+func Results(ctx context.Context, s *Suite, runners []Runner) ([]Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sc := s.WithContext(ctx)
+
+	results := make([]Result, len(runners))
+	errs := make([]error, len(runners))
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r Runner) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(sc)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, r)
+	}
+	wg.Wait()
+
+	// Report the first real failure in runner order; cancellations of
+	// sibling runners are collateral of that failure.
+	var firstCancel error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if firstCancel == nil {
+				firstCancel = fmt.Errorf("%s: %w", runners[i].ID, err)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("%s: %w", runners[i].ID, err)
+	}
+	if firstCancel != nil {
+		return nil, firstCancel
+	}
+	return results, nil
 }

@@ -5,37 +5,70 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"sttdl1/internal/compile"
 	"sttdl1/internal/polybench"
+	"sttdl1/internal/runner"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
 )
 
-// Suite runs kernels on configurations with memoization, since several
-// figures share the same underlying simulations (e.g. the unoptimized
-// SRAM baseline appears in Figs. 1, 3, 5 and 9).
+// Suite runs kernels on configurations through a shared parallel run
+// engine (internal/runner): several figures need the same underlying
+// simulations (e.g. the unoptimized SRAM baseline appears in Figs. 1, 3,
+// 5 and 9), so results are memoized by (bench, config) key and
+// concurrent requests for one key share a single execution. All
+// suite methods are safe for concurrent use; figure output is
+// deterministic at any worker count because results are consumed by key
+// in figure order, never in completion order.
 type Suite struct {
 	Benches []polybench.Bench
-	cache   map[string]*sim.RunResult
-	kernels map[string]*compilePair
-	// Verbose, when set, prints one line per completed simulation.
-	Verbose func(format string, args ...any)
+	pool    *runner.Pool[string, *sim.RunResult]
+	// ctx is the base context runs derive from (Background by default;
+	// see WithContext).
+	ctx context.Context
 }
 
-type compilePair struct{ bench polybench.Bench }
+// NewSuite builds a suite over the given benchmarks (nil = all) with the
+// default worker count (GOMAXPROCS).
+func NewSuite(benches []polybench.Bench) *Suite { return NewSuiteJobs(benches, 0) }
 
-// NewSuite builds a suite over the given benchmarks (nil = all).
-func NewSuite(benches []polybench.Bench) *Suite {
+// NewSuiteJobs builds a suite running at most jobs simulations
+// concurrently; jobs <= 0 means GOMAXPROCS. jobs == 1 degrades to the
+// fully serial engine and, by the determinism contract (DESIGN.md §7),
+// produces bit-identical figures to any other worker count.
+func NewSuiteJobs(benches []polybench.Bench, jobs int) *Suite {
 	if benches == nil {
 		benches = polybench.All()
 	}
 	return &Suite{
 		Benches: benches,
-		cache:   make(map[string]*sim.RunResult),
-		kernels: make(map[string]*compilePair),
+		pool:    runner.New[string, *sim.RunResult](jobs),
+		ctx:     context.Background(),
 	}
+}
+
+// Jobs returns the suite's concurrency bound.
+func (s *Suite) Jobs() int { return s.pool.Workers() }
+
+// SetProgress installs a per-completed-simulation observer (see
+// stats.RunEvent). Install it before running experiments.
+func (s *Suite) SetProgress(fn stats.ProgressFunc) { s.pool.SetProgress(fn) }
+
+// SimsRun returns how many simulations have actually executed (memoized
+// and deduplicated requests not counted).
+func (s *Suite) SimsRun() int { return s.pool.Done() }
+
+// WithContext returns a shallow copy of the suite whose runs derive from
+// ctx — the pool, memo cache and benchmark set stay shared. Cancel ctx
+// to abandon queued work submitted through the copy.
+func (s *Suite) WithContext(ctx context.Context) *Suite {
+	c := *s
+	c.ctx = ctx
+	return &c
 }
 
 // optKey folds compile options into a cache key.
@@ -50,20 +83,28 @@ func cfgKey(c sim.Config) string {
 		c.CPU.StoreBufDepth, optKey(c.Compile))
 }
 
-// Run executes bench b under cfg (memoized).
+func runKey(b polybench.Bench, cfg sim.Config) string { return b.Name + "|" + cfgKey(cfg) }
+
+func runLabel(b polybench.Bench, cfg sim.Config) string {
+	return fmt.Sprintf("%s on %s/%s", b.Name, cfg.Name, optKey(cfg.Compile))
+}
+
+// Run executes bench b under cfg (memoized, deduplicated).
 func (s *Suite) Run(b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
-	key := b.Name + "|" + cfgKey(cfg)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
-	}
-	r, err := sim.Run(b.Kernel(), cfg)
+	return s.RunContext(s.ctx, b, cfg)
+}
+
+// RunContext is Run under an explicit context: cancellation abandons the
+// request (and the execution, if this caller is its leader and it has
+// not started yet).
+func (s *Suite) RunContext(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
+	r, err := s.pool.DoLabeled(ctx, runKey(b, cfg), runLabel(b, cfg),
+		func(context.Context) (*sim.RunResult, error) {
+			return sim.Run(b.Kernel(), cfg)
+		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Name, err)
 	}
-	if s.Verbose != nil {
-		s.Verbose("  ran %-10s on %-24s %12d cycles", b.Name, cfg.Name+"/"+optKey(cfg.Compile), r.CPU.Cycles)
-	}
-	s.cache[key] = r
 	return r, nil
 }
 
@@ -76,8 +117,55 @@ func (s *Suite) Cycles(b polybench.Bench, cfg sim.Config) (int64, error) {
 	return r.CPU.Cycles, nil
 }
 
-// penaltySeries computes per-bench penalties of cfg against base.
+// Spec names one (benchmark, configuration) simulation of a batch.
+type Spec struct {
+	Bench  polybench.Bench
+	Config sim.Config
+}
+
+// Prefetch fans the benches × cfgs cross product out over the worker
+// pool and blocks until every simulation is memoized (or the first error
+// cancels the remaining queued work). Figures call it before consuming
+// results serially, which is where the parallel speedup comes from.
+func (s *Suite) Prefetch(benches []polybench.Bench, cfgs ...sim.Config) error {
+	specs := make([]Spec, 0, len(benches)*len(cfgs))
+	for _, cfg := range cfgs {
+		for _, b := range benches {
+			specs = append(specs, Spec{Bench: b, Config: cfg})
+		}
+	}
+	return s.PrefetchSpecs(specs)
+}
+
+// PrefetchSpecs fans an explicit batch out over the worker pool. The
+// batch is submitted in sorted key order so the engine's schedule — and
+// therefore its progress stream — is reproducible run to run.
+func (s *Suite) PrefetchSpecs(specs []Spec) error {
+	tasks := make([]runner.Task[string, *sim.RunResult], len(specs))
+	for i, sp := range specs {
+		sp := sp
+		tasks[i] = runner.Task[string, *sim.RunResult]{
+			Key:   runKey(sp.Bench, sp.Config),
+			Label: runLabel(sp.Bench, sp.Config),
+			Run: func(context.Context) (*sim.RunResult, error) {
+				return sim.Run(sp.Bench.Kernel(), sp.Config)
+			},
+		}
+	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Key < tasks[j].Key })
+	if _, err := s.pool.Run(s.ctx, tasks); err != nil {
+		return fmt.Errorf("experiments: prefetch: %w", err)
+	}
+	return nil
+}
+
+// penaltySeries computes per-bench penalties of cfg against base. The
+// full matrix is prefetched in parallel first; the serial consumption
+// loop below then reads memoized results in bench order.
 func (s *Suite) penaltySeries(base, cfg sim.Config) ([]float64, error) {
+	if err := s.Prefetch(s.Benches, base, cfg); err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(s.Benches))
 	for i, b := range s.Benches {
 		bc, err := s.Cycles(b, base)

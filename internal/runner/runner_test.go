@@ -1,0 +1,288 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sttdl1/internal/stats"
+)
+
+func TestDoMemoizes(t *testing.T) {
+	p := New[string, int](2)
+	calls := 0
+	fn := func(context.Context) (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := p.Do(context.Background(), "k", fn)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if p.Done() != 1 {
+		t.Fatalf("Done() = %d, want 1", p.Done())
+	}
+}
+
+func TestDoErrorNotMemoized(t *testing.T) {
+	p := New[string, int](1)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := p.Do(context.Background(), "k", func(context.Context) (int, error) {
+		calls++
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := p.Do(context.Background(), "k", func(context.Context) (int, error) {
+		calls++
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (error must not be cached)", calls)
+	}
+	if p.Done() != 1 {
+		t.Fatalf("Done() = %d, want 1 (failures don't count)", p.Done())
+	}
+}
+
+func TestRunOrder(t *testing.T) {
+	// A successful batch returns results in task order, not completion
+	// order: later tasks finish first here (decreasing sleeps).
+	p := New[int, int](4)
+	tasks := make([]Task[int, int], 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int, int]{Key: i, Run: func(context.Context) (int, error) {
+			time.Sleep(time.Duration(8-i) * time.Millisecond)
+			return i * i, nil
+		}}
+	}
+	out, err := p.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range out {
+		if v != j*j {
+			t.Errorf("out[%d] = %d, want %d", j, v, j*j)
+		}
+	}
+}
+
+func TestRunErrorWins(t *testing.T) {
+	// Run reports the first real error in task order even when it is not
+	// the first to occur, and never a sibling's cancellation. Task 1 only
+	// fails once task 0 is already executing, so task 0 is guaranteed to
+	// settle with its own error rather than the batch cancellation.
+	p := New[int, int](2)
+	slow := errors.New("slow failure")
+	fast := errors.New("fast failure")
+	started0 := make(chan struct{})
+	tasks := []Task[int, int]{
+		{Key: 0, Run: func(context.Context) (int, error) {
+			close(started0)
+			time.Sleep(5 * time.Millisecond)
+			return 0, slow
+		}},
+		{Key: 1, Run: func(context.Context) (int, error) {
+			<-started0
+			return 0, fast
+		}},
+	}
+	if _, err := p.Run(context.Background(), tasks); !errors.Is(err, slow) {
+		t.Fatalf("err = %v, want the task-order-first error %v", err, slow)
+	}
+}
+
+func TestQueuedLeaderCanceled(t *testing.T) {
+	// One worker, occupied: a queued leader whose context is canceled
+	// must be abandoned without its fn ever running.
+	p := New[string, int](1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), "blocker", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedErr := make(chan error, 1)
+	var queuedRan atomic.Bool
+	go func() {
+		_, err := p.Do(ctx, "queued", func(context.Context) (int, error) {
+			queuedRan.Store(true)
+			return 2, nil
+		})
+		queuedErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let it reach the queue
+	cancel()
+	if err := <-queuedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued leader err = %v, want context.Canceled", err)
+	}
+	if queuedRan.Load() {
+		t.Error("queued task ran despite cancellation")
+	}
+	close(release)
+	wg.Wait()
+
+	// The abandoned key is retryable afterwards.
+	v, err := p.Do(context.Background(), "queued", func(context.Context) (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("retry after cancel = %d, %v", v, err)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	p := New[int, *int](3)
+	var c stats.Counters
+	var mu sync.Mutex
+	var events []stats.RunEvent
+	p.SetProgress(func(ev stats.RunEvent) {
+		c.Observe(ev)
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	tasks := make([]Task[int, *int], 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int, *int]{Key: i, Label: fmt.Sprintf("task-%d", i), Run: func(context.Context) (*int, error) {
+			time.Sleep(2 * time.Millisecond)
+			return &i, nil
+		}}
+	}
+	if _, err := p.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs() != 10 {
+		t.Fatalf("counters saw %d runs, want 10", c.Runs())
+	}
+	if c.MaxInFlight() > 3 {
+		t.Errorf("peak in-flight %d exceeds worker bound 3", c.MaxInFlight())
+	}
+	if c.BusyTime() < 10*2*time.Millisecond {
+		t.Errorf("busy time %v implausibly low", c.BusyTime())
+	}
+	// Done counters are emitted serially and strictly increase.
+	for i, ev := range events {
+		if ev.Done != i+1 {
+			t.Fatalf("event %d has Done=%d, want %d", i, ev.Done, i+1)
+		}
+		if ev.Label == "" || ev.Key == "" {
+			t.Errorf("event %d missing label/key: %+v", i, ev)
+		}
+	}
+}
+
+func TestWaiterContextCancel(t *testing.T) {
+	p := New[string, int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), "slow", func(context.Context) (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Do(ctx, "slow", func(context.Context) (int, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	// The leader's result is unaffected by the canceled waiter.
+	v, err := p.Do(context.Background(), "slow", nil) // memoized: fn unused
+	if err != nil || v != 1 {
+		t.Fatalf("leader result = %d, %v", v, err)
+	}
+}
+
+// TestSingleflightProperty is the ISSUE's dedup property test: N
+// goroutines requesting overlapping key sets receive pointer-identical
+// results, and the underlying work executes exactly once per distinct
+// key. testing/quick drives the shape (worker count, goroutine count,
+// and each goroutine's key set).
+func TestSingleflightProperty(t *testing.T) {
+	type result struct{ key uint8 }
+
+	prop := func(workers uint8, keySets [][]uint8) bool {
+		p := New[uint8, *result](int(workers%8) + 1)
+		var execs [256]atomic.Int32
+
+		got := make([][]*result, len(keySets))
+		var wg sync.WaitGroup
+		for g, keys := range keySets {
+			g, keys := g, keys
+			got[g] = make([]*result, len(keys))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, k := range keys {
+					v, err := p.Do(context.Background(), k, func(context.Context) (*result, error) {
+						execs[k].Add(1)
+						time.Sleep(time.Duration(k%3) * 100 * time.Microsecond)
+						return &result{key: k}, nil
+					})
+					if err != nil {
+						t.Errorf("Do(%d): %v", k, err)
+						return
+					}
+					got[g][i] = v
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Exactly one execution per distinct requested key.
+		requested := map[uint8]bool{}
+		for _, keys := range keySets {
+			for _, k := range keys {
+				requested[k] = true
+			}
+		}
+		for k := range requested {
+			if n := execs[k].Load(); n != 1 {
+				t.Errorf("key %d executed %d times, want exactly 1", k, n)
+				return false
+			}
+		}
+		// Pointer-identical results for every request of the same key.
+		canonical := map[uint8]*result{}
+		for g, keys := range keySets {
+			for i, k := range keys {
+				v := got[g][i]
+				if v == nil || v.key != k {
+					t.Errorf("goroutine %d got %+v for key %d", g, v, k)
+					return false
+				}
+				if c, ok := canonical[k]; ok && c != v {
+					t.Errorf("key %d returned two distinct pointers %p / %p", k, c, v)
+					return false
+				}
+				canonical[k] = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

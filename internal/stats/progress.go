@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunEvent describes one completed task inside a (possibly parallel)
+// experiment batch. The run engine emits exactly one event per task
+// actually executed — memoized cache hits and deduplicated duplicate
+// requests do not produce events.
+type RunEvent struct {
+	// Key is the engine's deduplication key for the run.
+	Key string
+	// Label is a human-readable description ("gemm on stt-vwb").
+	Label string
+	// Wall is the wall-clock time the task itself took to execute.
+	Wall time.Duration
+
+	// Counter snapshot at the moment the event is emitted.
+	Done     int // tasks completed so far, this one included
+	InFlight int // tasks currently executing on a worker
+	Queued   int // tasks waiting for a free worker slot
+}
+
+// ProgressFunc observes RunEvents. The run engine delivers events one at
+// a time (it holds its own lock while calling), so implementations need
+// no synchronization of their own against other events — only against
+// readers on other goroutines.
+type ProgressFunc func(RunEvent)
+
+// Counters aggregates RunEvents into the queue-depth and timing
+// telemetry the CLI's summary line prints. Safe for concurrent use.
+type Counters struct {
+	mu          sync.Mutex
+	runs        int
+	wall        time.Duration
+	maxInFlight int
+	maxQueued   int
+}
+
+// Observe folds one event into the counters; pass it (or a wrapper) as a
+// ProgressFunc.
+func (c *Counters) Observe(ev RunEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs++
+	c.wall += ev.Wall
+	if ev.InFlight > c.maxInFlight {
+		c.maxInFlight = ev.InFlight
+	}
+	if ev.Queued > c.maxQueued {
+		c.maxQueued = ev.Queued
+	}
+}
+
+// Runs returns the number of tasks observed.
+func (c *Counters) Runs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// BusyTime returns the summed wall time of all observed tasks — the
+// serial-equivalent cost of the batch.
+func (c *Counters) BusyTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wall
+}
+
+// MaxInFlight returns the peak number of concurrently executing tasks.
+func (c *Counters) MaxInFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxInFlight
+}
+
+// MaxQueued returns the peak number of tasks waiting for a worker.
+func (c *Counters) MaxQueued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxQueued
+}
+
+// Summary renders the counters as one line, e.g.
+// "96 sims in 12.1s simulated work (peak 8 running / 41 queued)".
+func (c *Counters) Summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%d sims, %s simulated work (peak %d running / %d queued)",
+		c.runs, c.wall.Round(time.Millisecond), c.maxInFlight, c.maxQueued)
+}
