@@ -63,13 +63,16 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sttexplore list
-  sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] <id>|all|paper
-  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] <kernel>
+  sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] <id>|all|paper
+  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-check] <kernel>
 
 run flags:
   -j N    run up to N simulations in parallel (0 = GOMAXPROCS);
           output is bit-identical at any -j
-  -v      log each completed simulation + a final engine summary`)
+  -v      log each completed simulation + a final engine summary
+  -check  verify the timing contract (causality, clock monotonicity,
+          shadow-state agreement) on every access; results unchanged,
+          any violation fails the run`)
 }
 
 func cmdList() error {
@@ -94,6 +97,7 @@ func cmdRun(args []string) error {
 	verbose := fs.Bool("v", false, "log each simulation")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
+	checked := fs.Bool("check", false, "run every simulation under the timing-contract oracle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +110,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	suite := experiments.NewSuiteJobs(benches, *jobs)
+	suite.SetCheck(*checked)
 	var counters stats.Counters
 	progress := newProgressLine(os.Stderr, *verbose)
 	suite.SetProgress(func(ev stats.RunEvent) {
@@ -203,6 +208,7 @@ func cmdBench(args []string) error {
 	cfgName := fs.String("cfg", "vwb", "configuration: sram, dropin, vwb, l0, emshr")
 	opt := fs.Bool("opt", false, "apply all code transformations")
 	size := fs.Int("n", 0, "problem size override (0 = benchmark default)")
+	checked := fs.Bool("check", false, "run under the timing-contract oracle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -236,6 +242,7 @@ func cmdBench(args []string) error {
 	if *opt {
 		cfg.Compile = compile.AllOptimizations()
 	}
+	cfg.Check = *checked
 
 	n := b.Default
 	if *size > 0 {

@@ -71,10 +71,21 @@ func (c *Config) Validate() error {
 func (c *Config) Sets() int { return c.Size / (c.LineSize * c.Assoc) }
 
 type line struct {
-	tag     uint32
+	// tag is the full line number above the index bits. It is kept at
+	// mem.Addr width: truncating it (an earlier revision stored uint32)
+	// makes addresses 2^32 lines apart alias silently, and dirty
+	// evictions write back to the wrong reconstructed address.
+	tag     mem.Addr
 	valid   bool
 	dirty   bool
 	lastUse uint64
+	// ready is the cycle the line's fill delivered (or will deliver) its
+	// data. The victim slot is installed at miss time while the fill is
+	// still in flight, so a later hit must not complete before ready.
+	// Kept on the line rather than read from the MSHR: a full MSHR file
+	// can reclaim the entry of a still-in-flight fill, but the line's
+	// data still only exists once the fill lands.
+	ready int64
 }
 
 type mshr struct {
@@ -109,8 +120,11 @@ type Cache struct {
 	ConflictByKind  [6]int64
 	MSHRStallCycles int64
 	WBStallCycles   int64
-	Evictions       uint64
-	DirtyEvictions  uint64
+	// HitUnderFillCycles accumulates cycles hits spent waiting for the
+	// in-flight fill of their own line (the causality cap in accessOne).
+	HitUnderFillCycles int64
+	Evictions          uint64
+	DirtyEvictions     uint64
 }
 
 // New builds a cache in front of next. It panics on an invalid Config:
@@ -150,9 +164,9 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the demand/prefetch counters.
 func (c *Cache) Stats() mem.Stats { return c.stats }
 
-func (c *Cache) indexOf(addr mem.Addr) (set int, tag uint32) {
+func (c *Cache) indexOf(addr mem.Addr) (set int, tag mem.Addr) {
 	l := addr / mem.Addr(c.cfg.LineSize)
-	return int(l) & (c.cfg.Sets() - 1), uint32(l) >> uint(log2(c.cfg.Sets()))
+	return int(l & mem.Addr(c.cfg.Sets()-1)), l >> uint(log2(c.cfg.Sets()))
 }
 
 func (c *Cache) bankOf(addr mem.Addr) int {
@@ -168,7 +182,7 @@ func log2(n int) int {
 }
 
 // lookup returns the way holding addr's line, or -1.
-func (c *Cache) lookup(set int, tag uint32) int {
+func (c *Cache) lookup(set int, tag mem.Addr) int {
 	for w, ln := range c.sets[set] {
 		if ln.valid && ln.tag == tag {
 			return w
@@ -204,11 +218,11 @@ func (c *Cache) Access(now int64, req mem.Req) int64 {
 		first := int(mem.LineAddr(req.Addr, c.cfg.LineSize)) + c.cfg.LineSize - int(req.Addr)
 		d1 := c.accessOne(now, mem.Req{Addr: req.Addr, Bytes: first, Kind: req.Kind})
 		rest := mem.Req{Addr: req.Addr + mem.Addr(first), Bytes: req.Bytes - first, Kind: req.Kind}
-		if req.Kind == mem.Write || req.Kind == mem.WriteBack {
-			// The two halves of a store issue back to back.
-			return c.accessOne(now+1, rest)
-		}
-		// A split load needs both halves before the value is usable.
+		// The two halves issue back to back, but the access as a whole
+		// completes only when the later half does: a split load needs
+		// both words, and a split store retires only once both halves
+		// have drained — if the first half stalls on a busy bank longer
+		// than the second, its completion dominates.
 		d2 := c.accessOne(now+1, rest)
 		if d1 > d2 {
 			return d1
@@ -251,6 +265,20 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 		if req.Kind == mem.Prefetch {
 			return start // nothing to do, core does not wait
 		}
+		// Causality: the victim slot is installed at miss time while the
+		// fill is still in flight, so a lookup can hit a line whose data
+		// does not exist yet. Such a hit cannot complete before the fill
+		// delivers the line — cap it at the line's ready time, matching
+		// the merge path's timing.
+		avail := ln.ready
+		if isWrite {
+			// The write retires into the freshly filled line.
+			avail = ln.ready + c.cfg.WriteLat
+		}
+		if done < avail {
+			c.HitUnderFillCycles += avail - done
+			done = avail
+		}
 		return done
 	}
 
@@ -291,7 +319,7 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 			fillDone = c.pushWriteback(fillDone, c.reconstructAddr(set, victim.tag))
 		}
 	}
-	*victim = line{tag: tag, valid: true, dirty: isWrite, lastUse: c.useClock}
+	*victim = line{tag: tag, valid: true, dirty: isWrite, lastUse: c.useClock, ready: fillDone + 1}
 
 	// The bank is busy only for the lookup; the line is fetched through
 	// an MSHR while the array keeps serving other requests (the brief
@@ -314,7 +342,7 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 
 // touchFilledLine refreshes LRU/dirty state for a line that an MSHR merge
 // hit; the line may already be installed by the original miss.
-func (c *Cache) touchFilledLine(set int, tag uint32, dirty bool) {
+func (c *Cache) touchFilledLine(set int, tag mem.Addr, dirty bool) {
 	if w := c.lookup(set, tag); w >= 0 {
 		ln := &c.sets[set][w]
 		ln.lastUse = c.useClock
@@ -324,9 +352,9 @@ func (c *Cache) touchFilledLine(set int, tag uint32, dirty bool) {
 	}
 }
 
-func (c *Cache) reconstructAddr(set int, tag uint32) mem.Addr {
-	l := uint32(set) | tag<<uint(log2(c.cfg.Sets()))
-	return mem.Addr(l) * mem.Addr(c.cfg.LineSize)
+func (c *Cache) reconstructAddr(set int, tag mem.Addr) mem.Addr {
+	l := mem.Addr(set) | tag<<uint(log2(c.cfg.Sets()))
+	return l * mem.Addr(c.cfg.LineSize)
 }
 
 func (c *Cache) findMSHR(lineAddr mem.Addr) *mshr {
@@ -399,6 +427,11 @@ func (c *Cache) pushWriteback(now int64, victimAddr mem.Addr) int64 {
 	return start
 }
 
+// UseClock returns the LRU use counter (one tick per accessOne), so an
+// invariant checker attached to a warm cache can continue the recency
+// numbering exactly.
+func (c *Cache) UseClock() uint64 { return c.useClock }
+
 // Contains reports whether the line holding addr is present (for tests
 // and invariant checks; no timing side effects).
 func (c *Cache) Contains(addr mem.Addr) bool {
@@ -411,6 +444,65 @@ func (c *Cache) Dirty(addr mem.Addr) bool {
 	set, tag := c.indexOf(addr)
 	w := c.lookup(set, tag)
 	return w >= 0 && c.sets[set][w].dirty
+}
+
+// LineView is a read-only view of one way of a set, exported for the
+// internal/check timing oracle's shadow-state comparison. Addr is the
+// reconstructed line-aligned byte address (meaningful only when Valid).
+type LineView struct {
+	Addr    mem.Addr
+	Valid   bool
+	Dirty   bool
+	LastUse uint64
+}
+
+// SetView returns the current contents of one set, way by way (no timing
+// side effects).
+func (c *Cache) SetView(set int) []LineView { return c.AppendSetView(nil, set) }
+
+// AppendSetView appends the contents of one set to dst and returns the
+// extended slice (the allocation-free form of SetView, for the per-access
+// checker).
+func (c *Cache) AppendSetView(dst []LineView, set int) []LineView {
+	for _, ln := range c.sets[set] {
+		v := LineView{Valid: ln.valid, Dirty: ln.dirty, LastUse: ln.lastUse}
+		if ln.valid {
+			v.Addr = c.reconstructAddr(set, ln.tag)
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// MSHRView is a read-only view of one miss-status register, exported for
+// the invariant checker's exactly-once occupancy check.
+type MSHRView struct {
+	LineAddr mem.Addr
+	Ready    int64
+	Valid    bool
+}
+
+// MSHRs returns the current MSHR file contents (no timing side effects).
+// Entries whose Ready has passed may linger as Valid: the file expires
+// them lazily on the next allocation.
+func (c *Cache) MSHRs() []MSHRView { return c.AppendMSHRs(nil) }
+
+// AppendMSHRs appends the MSHR file contents to dst and returns the
+// extended slice (the allocation-free form of MSHRs).
+func (c *Cache) AppendMSHRs(dst []MSHRView) []MSHRView {
+	for _, m := range c.mshrs {
+		dst = append(dst, MSHRView{LineAddr: m.lineAddr, Ready: m.ready, Valid: m.valid})
+	}
+	return dst
+}
+
+// BusyClocks returns a copy of the per-bank busy-until clocks. The
+// invariant checker requires each to be monotonically non-decreasing
+// across accesses (between timing resets).
+func (c *Cache) BusyClocks() []int64 {
+	out := make([]int64, len(c.bankFree))
+	copy(out, c.bankFree)
+	return out
 }
 
 // ResidentLines returns the number of valid lines (for occupancy checks).
@@ -433,6 +525,13 @@ func (c *Cache) ResetTiming() {
 	for i := range c.bankFree {
 		c.bankFree[i] = 0
 	}
+	// Contents persist across a timing reset but in-flight fill times do
+	// not: the measured run's clock restarts at 0.
+	for _, set := range c.sets {
+		for w := range set {
+			set[w].ready = 0
+		}
+	}
 	for i := range c.mshrs {
 		c.mshrs[i] = mshr{}
 	}
@@ -444,6 +543,7 @@ func (c *Cache) ResetTiming() {
 	c.ConflictByKind = [6]int64{}
 	c.MSHRStallCycles = 0
 	c.WBStallCycles = 0
+	c.HitUnderFillCycles = 0
 	c.Evictions = 0
 	c.DirtyEvictions = 0
 }
@@ -470,6 +570,7 @@ func (c *Cache) Reset() {
 	c.ConflictByKind = [6]int64{}
 	c.MSHRStallCycles = 0
 	c.WBStallCycles = 0
+	c.HitUnderFillCycles = 0
 	c.Evictions = 0
 	c.DirtyEvictions = 0
 }

@@ -1,0 +1,173 @@
+package check
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sttdl1/internal/cache"
+	"sttdl1/internal/mem"
+)
+
+// badPort returns completions before the request time.
+type badPort struct{ skew int64 }
+
+func (b *badPort) Access(now int64, req mem.Req) int64 { return now - b.skew }
+
+// jitterClock is a clocked port whose busy clock moves backward every
+// third access.
+type jitterClock struct {
+	n     int
+	clock int64
+}
+
+func (j *jitterClock) Access(now int64, req mem.Req) int64 {
+	j.n++
+	if j.n%3 == 0 {
+		j.clock -= 5
+	} else {
+		j.clock = now + 2
+	}
+	return now + 1
+}
+
+func (j *jitterClock) BusyClocks() []int64 { return []int64{j.clock} }
+
+func TestWrapIsPassThrough(t *testing.T) {
+	bare := &mem.FixedPort{Latency: 7}
+	wrapped := Wrap("X", &mem.FixedPort{Latency: 7})
+	for now := int64(0); now < 100; now += 3 {
+		req := mem.Req{Addr: mem.Addr(now) * 8, Bytes: 4, Kind: mem.Read}
+		if b, w := bare.Access(now, req), wrapped.Access(now, req); b != w {
+			t.Fatalf("wrapped Access(%d) = %d, bare = %d; wrapper must not change timing", now, w, b)
+		}
+	}
+	if err := wrapped.Err(); err != nil {
+		t.Fatalf("clean port reported: %v", err)
+	}
+}
+
+func TestCausalityViolation(t *testing.T) {
+	p := Wrap("BAD", &badPort{skew: 3})
+	p.Access(10, mem.Req{Addr: 0x40, Bytes: 4, Kind: mem.Read})
+	if p.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", p.Total())
+	}
+	err := p.Err()
+	if err == nil || !strings.Contains(err.Error(), "causality") {
+		t.Fatalf("Err = %v, want a causality violation", err)
+	}
+}
+
+func TestMonotonicityViolation(t *testing.T) {
+	p := Wrap("JIT", &jitterClock{})
+	for now := int64(0); now < 9; now++ {
+		p.Access(now, mem.Req{Addr: 0, Bytes: 1, Kind: mem.Read})
+	}
+	// Accesses 3, 6, 9 move the clock backward.
+	if p.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", p.Total())
+	}
+	if err := p.Err(); err == nil || !strings.Contains(err.Error(), "monotonicity") {
+		t.Fatalf("Err = %v, want monotonicity violations", err)
+	}
+}
+
+func TestViolationRetentionBound(t *testing.T) {
+	p := Wrap("BAD", &badPort{skew: 1})
+	const n = 100
+	for now := int64(1); now <= n; now++ {
+		p.Access(now, mem.Req{Addr: 0, Bytes: 1, Kind: mem.Read})
+	}
+	if p.Total() != n {
+		t.Fatalf("Total = %d, want %d", p.Total(), n)
+	}
+	if got := len(p.Violations()); got != maxRecorded {
+		t.Fatalf("retained %d violations, want %d", got, maxRecorded)
+	}
+	if err := p.Err(); err == nil || !strings.Contains(err.Error(), "and 84 more") {
+		t.Fatalf("Err = %v, want overflow note", err)
+	}
+}
+
+func smallCacheCfg() cache.Config {
+	// 4 sets x 2 ways: conflicts, evictions and MSHR churn come fast.
+	return cache.Config{
+		Name: "small", Size: 512, Assoc: 2, LineSize: 64, Banks: 2,
+		ReadLat: 4, WriteLat: 2, MSHRs: 2, WriteBufDepth: 2,
+	}
+}
+
+// randomStream drives n accesses of every kind, including line
+// straddlers, through p, advancing time like an in-order core would.
+func randomStream(rng *rand.Rand, p mem.Port, n int) int64 {
+	now := int64(0)
+	kinds := []mem.Kind{mem.Read, mem.Read, mem.Write, mem.Write, mem.Prefetch, mem.WriteBack}
+	for i := 0; i < n; i++ {
+		req := mem.Req{
+			// A few KB of footprint over 4 sets: heavy conflict traffic.
+			Addr:  mem.Addr(rng.Intn(4096)),
+			Bytes: 1 + rng.Intn(8), // straddles a line ~9% of the time
+			Kind:  kinds[rng.Intn(len(kinds))],
+		}
+		done := p.Access(now, req)
+		if rng.Intn(4) == 0 && done > now {
+			now = done // sometimes block on the access like a load-use stall
+		}
+		now += int64(1 + rng.Intn(3))
+	}
+	return now
+}
+
+// TestShadowCleanOnRandomStream pushes a hostile random mix through a
+// real cache and requires the shadow model to agree at every step and in
+// the final audit. A divergence here means either the cache or the
+// shadow state machine is wrong.
+func TestShadowCleanOnRandomStream(t *testing.T) {
+	c := cache.New(smallCacheCfg(), &mem.FixedPort{Latency: 30})
+	p := Wrap("DL1", c)
+	randomStream(rand.New(rand.NewSource(1)), p, 5000)
+	p.Audit()
+	if err := p.Err(); err != nil {
+		t.Fatalf("shadow diverged on random stream:\n%v", err)
+	}
+}
+
+// TestShadowAdoptsWarmCache wraps a cache that already has resident
+// lines; the shadow must start from the observed contents, not empty.
+func TestShadowAdoptsWarmCache(t *testing.T) {
+	c := cache.New(smallCacheCfg(), &mem.FixedPort{Latency: 30})
+	rng := rand.New(rand.NewSource(2))
+	now := randomStream(rng, c, 500) // warm unwrapped
+	c.ResetTiming()
+
+	p := Wrap("DL1", c)
+	kinds := []mem.Kind{mem.Read, mem.Write}
+	for i := 0; i < 1000; i++ {
+		p.Access(now, mem.Req{Addr: mem.Addr(rng.Intn(4096)), Bytes: 4, Kind: kinds[i%2]})
+		now += 2
+	}
+	p.Audit()
+	if err := p.Err(); err != nil {
+		t.Fatalf("shadow of a warm cache diverged:\n%v", err)
+	}
+}
+
+// TestResetTimingRebaselines mirrors the simulator's warm-up →
+// ResetTiming → measured-run sequence: clocks jump backward and MSHRs
+// vanish at the reset, which the checker must not flag.
+func TestResetTimingRebaselines(t *testing.T) {
+	c := cache.New(smallCacheCfg(), &mem.FixedPort{Latency: 30})
+	p := Wrap("DL1", c)
+	rng := rand.New(rand.NewSource(3))
+	randomStream(rng, p, 1000)
+
+	c.ResetTiming()
+	p.ResetTiming()
+
+	randomStream(rng, p, 1000)
+	p.Audit()
+	if err := p.Err(); err != nil {
+		t.Fatalf("violations across ResetTiming:\n%v", err)
+	}
+}

@@ -1,0 +1,250 @@
+package check
+
+import (
+	"fmt"
+
+	"sttdl1/internal/cache"
+	"sttdl1/internal/mem"
+)
+
+// shadowLine is one way of the shadow cache: full-width line address in
+// place of the timing model's set/tag split, so any truncation in the
+// real tag path shows up as a state disagreement.
+type shadowLine struct {
+	addr    mem.Addr // line-aligned byte address
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// shadowCache is a functional re-execution of the cache's state machine:
+// lookup, LRU victim choice, install, dirtiness and MSHR occupancy —
+// everything except timing. After every access the touched sets are
+// compared way-by-way against the timing model; any divergence means one
+// of the two models mishandled the access.
+type shadowCache struct {
+	c        *cache.Cache
+	cfg      cache.Config
+	sets     [][]shadowLine
+	useClock uint64
+
+	// dataReady maps an in-flight (or recently filled) line to the cycle
+	// its fill delivers data, learned from the MSHR the timing model
+	// allocates. No data-consuming access to the line may complete
+	// earlier.
+	dataReady map[mem.Addr]int64
+
+	// pre holds the MSHR view captured immediately before the wrapped
+	// access, for the exactly-once occupancy check.
+	pre   []cache.MSHRView
+	post  []cache.MSHRView
+	view  []cache.LineView
+	steps uint64
+}
+
+func newShadow(c *cache.Cache) *shadowCache {
+	cfg := c.Config()
+	s := &shadowCache{c: c, cfg: cfg, dataReady: make(map[mem.Addr]int64)}
+	s.sets = make([][]shadowLine, cfg.Sets())
+	backing := make([]shadowLine, cfg.Sets()*cfg.Assoc)
+	for i := range s.sets {
+		s.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	// Adopt whatever the cache already holds (a checker can be attached
+	// to a warm cache), including its recency numbering.
+	s.useClock = c.UseClock()
+	for set := range s.sets {
+		for w, ln := range c.SetView(set) {
+			if ln.Valid {
+				s.sets[set][w] = shadowLine{addr: ln.Addr, valid: true, dirty: ln.Dirty, lastUse: ln.LastUse}
+			}
+		}
+	}
+	return s
+}
+
+func (s *shadowCache) setOf(addr mem.Addr) int {
+	return int((addr / mem.Addr(s.cfg.LineSize)) & mem.Addr(s.cfg.Sets()-1))
+}
+
+func (s *shadowCache) lineOf(addr mem.Addr) mem.Addr {
+	return mem.LineAddr(addr, s.cfg.LineSize)
+}
+
+// snapshotPre captures MSHR occupancy before the wrapped access runs.
+// Port.Access with a shadow must call it first.
+func (s *shadowCache) snapshotPre() {
+	s.pre = s.c.AppendMSHRs(s.pre[:0])
+}
+
+// step mirrors one Access (after the fact) and verifies the invariants.
+// done is the completion cycle the timing model reported for the whole
+// request.
+func (s *shadowCache) step(p *Port, now int64, req mem.Req, done int64) {
+	bytes := req.Bytes
+	if bytes <= 0 {
+		bytes = 1
+	}
+	if mem.CrossesLine(req.Addr, bytes, s.cfg.LineSize) {
+		first := int(s.lineOf(req.Addr)) + s.cfg.LineSize - int(req.Addr)
+		s.stepOne(p, now, mem.Req{Addr: req.Addr, Bytes: first, Kind: req.Kind}, done, false)
+		s.stepOne(p, now+1, mem.Req{Addr: req.Addr + mem.Addr(first), Bytes: bytes - first, Kind: req.Kind}, done, true)
+	} else {
+		s.stepOne(p, now, mem.Req{Addr: req.Addr, Bytes: bytes, Kind: req.Kind}, done, false)
+	}
+	s.steps++
+	if s.steps%4096 == 0 {
+		for a, r := range s.dataReady {
+			if r <= now {
+				delete(s.dataReady, a)
+			}
+		}
+	}
+}
+
+func (s *shadowCache) stepOne(p *Port, now int64, req mem.Req, done int64, secondHalf bool) {
+	set := s.setOf(req.Addr)
+	lineAddr := s.lineOf(req.Addr)
+	isWrite := req.Kind == mem.Write || req.Kind == mem.WriteBack
+
+	// The MSHR view observable here is the state after the WHOLE access,
+	// including both halves of a split.
+	s.post = s.c.AppendMSHRs(s.post[:0])
+
+	// --- Mirror the state machine.
+	s.useClock++
+	ways := s.sets[set]
+	way := -1
+	for w := range ways {
+		if ways[w].valid && ways[w].addr == lineAddr {
+			way = w
+			break
+		}
+	}
+	// Did this half merge into an in-flight fill? For the leading half
+	// the pre-access snapshot answers exactly. The trailing half of a
+	// split runs against MSHR state the leading half may have changed,
+	// which we cannot observe — but the halves are different lines, so
+	// the leading half can only EXPIRE an entry for this line, never
+	// create one, and a fresh re-allocation always carries a strictly
+	// later ready. Hence: merged iff the same (line, ready) entry exists
+	// both before the access and after it.
+	merged := false
+	for _, m := range s.pre {
+		if m.Valid && m.LineAddr == lineAddr {
+			if !secondHalf {
+				merged = true
+				break
+			}
+			for _, q := range s.post {
+				if q.Valid && q.LineAddr == lineAddr && q.Ready == m.Ready {
+					merged = true
+					break
+				}
+			}
+			break
+		}
+	}
+	// --- Fill-supplies-data causality: nothing that consumes or merges
+	// into a line may complete before the line's fill delivers it. A
+	// fresh miss is exempt — if the line was evicted while its old fill
+	// was in flight, a re-miss re-fetches and owes nothing to that fill.
+	if req.Kind != mem.Prefetch && (way >= 0 || merged) {
+		if r, ok := s.dataReady[lineAddr]; ok {
+			if r > now && done < r {
+				p.record(now, req, fmt.Sprintf("causality: completes at %d but the line's fill arrives at %d", done, r))
+			}
+			if r <= now {
+				delete(s.dataReady, lineAddr)
+			}
+		}
+	}
+
+	allocated := false
+	switch {
+	case way >= 0: // hit: recency refresh, dirty on write
+		ways[way].lastUse = s.useClock
+		if isWrite {
+			ways[way].dirty = true
+		}
+	case merged: // MSHR merge: the original miss owns the install
+	default: // miss: LRU victim (invalid ways first), install
+		v := 0
+		for w := range ways {
+			if !ways[w].valid {
+				v = w
+				break
+			}
+			if ways[w].lastUse < ways[v].lastUse {
+				v = w
+			}
+		}
+		ways[v] = shadowLine{addr: lineAddr, valid: true, dirty: isWrite, lastUse: s.useClock}
+		allocated = true
+	}
+
+	// --- MSHR exactly-once occupancy.
+	live := -1
+	for i, m := range s.post {
+		if !m.Valid {
+			continue
+		}
+		if m.LineAddr == lineAddr {
+			if live >= 0 {
+				p.record(now, req, fmt.Sprintf("MSHR: line %#x occupies two entries", lineAddr))
+			}
+			live = i
+		}
+	}
+	if allocated {
+		if live < 0 {
+			p.record(now, req, "MSHR: demand miss did not allocate an entry")
+		} else {
+			r := s.post[live].Ready
+			if r <= now {
+				p.record(now, req, fmt.Sprintf("MSHR: fresh entry ready at %d, not after the miss at %d", r, now))
+			}
+			s.dataReady[lineAddr] = r
+		}
+	} else if live >= 0 && !merged {
+		// The line was resident with no fill in flight; a new entry for
+		// it means the miss path ran against a present line.
+		p.record(now, req, fmt.Sprintf("MSHR: line %#x allocated while resident", lineAddr))
+	}
+	s.compareSet(p, now, req, set)
+}
+
+// compareSet verifies the timing model's set contents against the shadow,
+// way by way.
+func (s *shadowCache) compareSet(p *Port, now int64, req mem.Req, set int) {
+	s.view = s.c.AppendSetView(s.view[:0], set)
+	for w, got := range s.view {
+		want := s.sets[set][w]
+		switch {
+		case got.Valid != want.valid:
+			p.record(now, req, fmt.Sprintf("state: set %d way %d valid=%t, shadow says %t", set, w, got.Valid, want.valid))
+		case !got.Valid:
+		case got.Addr != want.addr:
+			p.record(now, req, fmt.Sprintf("state: set %d way %d holds %#x, shadow says %#x", set, w, got.Addr, want.addr))
+		case got.Dirty != want.dirty:
+			p.record(now, req, fmt.Sprintf("state: set %d way %d (%#x) dirty=%t, shadow says %t", set, w, got.Addr, got.Dirty, want.dirty))
+		case got.LastUse != want.lastUse:
+			p.record(now, req, fmt.Sprintf("state: set %d way %d (%#x) lastUse=%d, shadow says %d", set, w, got.Addr, got.LastUse, want.lastUse))
+		}
+	}
+}
+
+// audit compares every set (the per-access path only compares touched
+// sets).
+func (s *shadowCache) audit(p *Port) {
+	for set := range s.sets {
+		s.compareSet(p, 0, mem.Req{}, set)
+	}
+}
+
+// resetTiming mirrors Cache.ResetTiming: clocks and MSHRs clear, cache
+// contents (and the LRU use clock) persist.
+func (s *shadowCache) resetTiming() {
+	s.dataReady = make(map[mem.Addr]int64)
+	s.pre = s.pre[:0]
+}

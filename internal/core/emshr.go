@@ -68,6 +68,10 @@ func (m *EMSHR) Stats() mem.Stats { return m.stats }
 // Contains reports residence of addr's line (tests only).
 func (m *EMSHR) Contains(addr mem.Addr) bool { return m.buf.contains(addr) }
 
+// BusyClocks returns the narrow-port busy-until clock, for the invariant
+// checker's monotonicity check.
+func (m *EMSHR) BusyClocks() []int64 { return []int64{m.portFree} }
+
 // Access implements mem.Port.
 func (m *EMSHR) Access(now int64, req mem.Req) int64 {
 	lineAddr := mem.LineAddr(req.Addr, m.buf.lineSize)

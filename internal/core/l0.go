@@ -70,6 +70,10 @@ func (l *L0Cache) Stats() mem.Stats { return l.stats }
 // Contains reports residence of addr's line (tests only).
 func (l *L0Cache) Contains(addr mem.Addr) bool { return l.buf.contains(addr) }
 
+// BusyClocks returns the narrow-port busy-until clock, for the invariant
+// checker's monotonicity check.
+func (l *L0Cache) BusyClocks() []int64 { return []int64{l.portFree} }
+
 // Access implements mem.Port.
 func (l *L0Cache) Access(now int64, req mem.Req) int64 {
 	lineAddr := mem.LineAddr(req.Addr, l.buf.lineSize)

@@ -107,6 +107,10 @@ func (v *VWB) Lines() int { return v.buf.lines() }
 // Contains reports residence of addr's line (tests only).
 func (v *VWB) Contains(addr mem.Addr) bool { return v.buf.contains(addr) }
 
+// BusyClocks returns the read- and write-port busy-until clocks, for the
+// invariant checker's monotonicity check.
+func (v *VWB) BusyClocks() []int64 { return []int64{v.readFree, v.writeFree} }
+
 // Access implements mem.Port.
 func (v *VWB) Access(now int64, req mem.Req) int64 {
 	lineAddr := mem.LineAddr(req.Addr, v.buf.lineSize)

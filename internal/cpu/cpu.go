@@ -178,7 +178,7 @@ func (c *CPU) RunState(prog *isa.Program, st *State) (*Result, error) {
 			}
 		}
 		fetchDone := c.IMem.Access(fetchAt, mem.Req{
-			Addr:  cfg.CodeBase + uint32(pc)*isa.InstBytes,
+			Addr:  mem.Addr(cfg.CodeBase) + mem.Addr(pc)*isa.InstBytes,
 			Bytes: isa.InstBytes,
 			Kind:  mem.Fetch,
 		})
@@ -280,7 +280,7 @@ func (c *CPU) RunState(prog *isa.Program, st *State) (*Result, error) {
 			if in.Op.IsVector() {
 				res.VecLoads++
 			}
-			done = c.DMem.Access(issue+1, mem.Req{Addr: info.Addr, Bytes: opInfo.AccessBytes, Kind: mem.Read})
+			done = c.DMem.Access(issue+1, mem.Req{Addr: mem.Addr(info.Addr), Bytes: opInfo.AccessBytes, Kind: mem.Read})
 			prod = prodLoad
 			lq[lqHead] = done
 			lqHead = (lqHead + 1) % cfg.LoadQueueDepth
@@ -293,14 +293,14 @@ func (c *CPU) RunState(prog *isa.Program, st *State) (*Result, error) {
 			if drainTail > start {
 				start = drainTail
 			}
-			retire := c.DMem.Access(start, mem.Req{Addr: info.Addr, Bytes: opInfo.AccessBytes, Kind: mem.Write})
+			retire := c.DMem.Access(start, mem.Req{Addr: mem.Addr(info.Addr), Bytes: opInfo.AccessBytes, Kind: mem.Write})
 			drainTail = retire
 			sbuf[sbHead] = retire
 			sbHead = (sbHead + 1) % cfg.StoreBufDepth
 			done = issue + 1 // the core moves on once the store is buffered
 		case opInfo.Mem == 'p':
 			res.Prefetches++
-			c.DMem.Access(issue+1, mem.Req{Addr: info.Addr, Bytes: opInfo.AccessBytes, Kind: mem.Prefetch})
+			c.DMem.Access(issue+1, mem.Req{Addr: mem.Addr(info.Addr), Bytes: opInfo.AccessBytes, Kind: mem.Prefetch})
 			done = issue + 1
 		}
 

@@ -30,6 +30,9 @@ type Suite struct {
 	// ctx is the base context runs derive from (Background by default;
 	// see WithContext).
 	ctx context.Context
+	// check runs every simulation under the internal/check timing
+	// oracle (sim.Config.Check); a contract violation fails the run.
+	check bool
 }
 
 // NewSuite builds a suite over the given benchmarks (nil = all) with the
@@ -58,6 +61,20 @@ func (s *Suite) Jobs() int { return s.pool.Workers() }
 // stats.RunEvent). Install it before running experiments.
 func (s *Suite) SetProgress(fn stats.ProgressFunc) { s.pool.SetProgress(fn) }
 
+// SetCheck turns the timing oracle on or off for every simulation the
+// suite runs from now on (the sttexplore -check flag). Checked and
+// unchecked runs are memoized separately; install it before running
+// experiments.
+func (s *Suite) SetCheck(on bool) { s.check = on }
+
+// applyCheck folds the suite's checking mode into a run configuration.
+func (s *Suite) applyCheck(cfg sim.Config) sim.Config {
+	if s.check {
+		cfg.Check = true
+	}
+	return cfg
+}
+
 // SimsRun returns how many simulations have actually executed (memoized
 // and deduplicated requests not counted).
 func (s *Suite) SimsRun() int { return s.pool.Done() }
@@ -77,10 +94,10 @@ func optKey(o compile.Options) string {
 }
 
 func cfgKey(c sim.Config) string {
-	return fmt.Sprintf("%v_%v_buf%d_bank%d_rl%d_wl%d_pol%v_tc%d_il1%v_%v_cold%t_sb%d_%s",
+	return fmt.Sprintf("%v_%v_buf%d_bank%d_rl%d_wl%d_pol%v_tc%d_il1%v_%v_cold%t_sb%d_chk%t_%s",
 		c.DL1Cell, c.FrontEnd, c.BufferBits, c.DL1Banks, c.DL1ReadLat, c.DL1WriteLat,
 		c.VWBPolicy, c.VWBTransfer, c.IL1Cell, c.IL1FrontEnd, c.ColdStart,
-		c.CPU.StoreBufDepth, optKey(c.Compile))
+		c.CPU.StoreBufDepth, c.Check, optKey(c.Compile))
 }
 
 func runKey(b polybench.Bench, cfg sim.Config) string { return b.Name + "|" + cfgKey(cfg) }
@@ -98,6 +115,7 @@ func (s *Suite) Run(b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
 // request (and the execution, if this caller is its leader and it has
 // not started yet).
 func (s *Suite) RunContext(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
+	cfg = s.applyCheck(cfg)
 	r, err := s.pool.DoLabeled(ctx, runKey(b, cfg), runLabel(b, cfg),
 		func(context.Context) (*sim.RunResult, error) {
 			return sim.Run(b.Kernel(), cfg)
@@ -144,6 +162,7 @@ func (s *Suite) PrefetchSpecs(specs []Spec) error {
 	tasks := make([]runner.Task[string, *sim.RunResult], len(specs))
 	for i, sp := range specs {
 		sp := sp
+		sp.Config = s.applyCheck(sp.Config)
 		tasks[i] = runner.Task[string, *sim.RunResult]{
 			Key:   runKey(sp.Bench, sp.Config),
 			Label: runLabel(sp.Bench, sp.Config),

@@ -59,6 +59,10 @@ func (d *DRAM) Access(now int64, req Req) int64 {
 // Stats returns a copy of the accumulated counters.
 func (d *DRAM) Stats() Stats { return d.stats }
 
+// BusyClocks returns the channel busy-until clock, for the invariant
+// checker's monotonicity check.
+func (d *DRAM) BusyClocks() []int64 { return []int64{d.chanFree} }
+
 // Reset clears timing state and counters.
 func (d *DRAM) Reset() {
 	d.chanFree = 0

@@ -16,8 +16,13 @@ package mem
 
 import "fmt"
 
-// Addr is a 32-bit physical byte address.
-type Addr = uint32
+// Addr is a 64-bit physical byte address. The functional interpreter
+// (internal/cpu) keeps its architectural state 32-bit, but the hierarchy
+// is addressed at full width so trace-driven runs and large mapped
+// regions never alias: tags and reconstructed victim addresses must
+// round-trip through the cache without truncation (see
+// internal/check's shadow model, which enforces this).
+type Addr = uint64
 
 // Kind classifies a memory request.
 type Kind uint8

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"sttdl1/internal/cache"
+	"sttdl1/internal/check"
 	"sttdl1/internal/compile"
 	"sttdl1/internal/core"
 	"sttdl1/internal/cpu"
@@ -87,6 +88,14 @@ type Config struct {
 	// IL1FrontEnd optionally puts a buffer structure in front of the
 	// IL1 (FEEMSHR is the DATE'14 proposal; FEDirect means none).
 	IL1FrontEnd FrontEndKind
+
+	// Check wraps every hierarchy port (front-end, IL1, DL1, L2, DRAM)
+	// in the internal/check timing oracle: causality, busy-clock
+	// monotonicity and shadow-state agreement are verified on every
+	// access, and a run that violates the timing contract fails with
+	// the violation list (DESIGN.md §7.2). The wrapper is pass-through,
+	// so checked runs report identical cycle counts.
+	Check bool
 }
 
 // Platform cache geometry (paper §VI).
@@ -153,6 +162,10 @@ type System struct {
 	FE   core.FrontEnd
 	// DL1Model is the technology model behind the DL1 latencies.
 	DL1Model tech.Model
+
+	// checks holds the timing-oracle wrappers when Cfg.Check is set
+	// (empty otherwise); runOnce turns their violations into an error.
+	checks []*check.Port
 }
 
 // New assembles a platform.
@@ -173,12 +186,25 @@ func New(cfg Config) (*System, error) {
 		wr = cfg.DL1WriteLat
 	}
 
+	// wrap interposes the timing oracle when the configuration asks for
+	// checking; otherwise ports connect directly.
+	var checks []*check.Port
+	wrap := func(name string, p mem.Port) mem.Port {
+		if !cfg.Check {
+			return p
+		}
+		cp := check.Wrap(name, p)
+		checks = append(checks, cp)
+		return cp
+	}
+
 	dram := mem.NewDRAM(mem.DefaultDRAMConfig())
 	l2 := cache.New(cache.Config{
 		Name: "L2", Size: L2Size, Assoc: L2Assoc, LineSize: L2Line, Banks: 8,
 		ReadLat: L2Lat, WriteLat: L2Lat, ReadInterval: 2, WriteInterval: 2,
 		MSHRs: 16, WriteBufDepth: 8,
-	}, dram)
+	}, wrap("DRAM", dram))
+	l2Port := wrap("L2", l2)
 	il1Cfg := cache.Config{
 		Name: "IL1", Size: IL1Size, Assoc: IL1Assoc, LineSize: 64, Banks: 2,
 		ReadLat: 1, WriteLat: 1, ReadInterval: 1, WriteInterval: 1,
@@ -191,13 +217,13 @@ func New(cfg Config) (*System, error) {
 		il1Cfg.ReadLat, il1Cfg.WriteLat = ir_, iw
 		il1Cfg.ReadInterval, il1Cfg.WriteInterval = 0, 0
 	}
-	il1 := cache.New(il1Cfg, l2)
-	var imem mem.Port = il1
+	il1 := cache.New(il1Cfg, l2Port)
+	imem := wrap("IL1", il1)
 	switch cfg.IL1FrontEnd {
 	case FEDirect:
 		// fetch straight from the IL1
 	case FEEMSHR:
-		imem = core.NewEMSHR(core.EMSHRConfig{SizeBits: cfg.BufferBits, LineSize: 64, HitLat: 1, BeatBytes: 32}, il1)
+		imem = wrap("IL1-emshr", core.NewEMSHR(core.EMSHRConfig{SizeBits: cfg.BufferBits, LineSize: 64, HitLat: 1, BeatBytes: 32}, imem))
 	default:
 		return nil, fmt.Errorf("sim: unsupported IL1 front-end %v", cfg.IL1FrontEnd)
 	}
@@ -212,12 +238,13 @@ func New(cfg Config) (*System, error) {
 	if cfg.DL1Cell == tech.SRAM6T {
 		dl1Cfg.ReadInterval, dl1Cfg.WriteInterval = 1, 1
 	}
-	dl1 := cache.New(dl1Cfg, l2)
+	dl1 := cache.New(dl1Cfg, l2Port)
+	dl1Port := wrap("DL1", dl1)
 
 	var fe core.FrontEnd
 	switch cfg.FrontEnd {
 	case FEDirect:
-		fe = core.NewDirect(dl1)
+		fe = core.NewDirect(dl1Port)
 	case FEVWB:
 		tc := cfg.VWBTransfer
 		if tc == 0 {
@@ -226,17 +253,17 @@ func New(cfg Config) (*System, error) {
 		fe = core.NewVWB(core.VWBConfig{
 			SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1,
 			TransferCycles: tc, Policy: cfg.VWBPolicy,
-		}, dl1)
+		}, dl1Port)
 	case FEL0:
-		fe = core.NewL0(core.L0Config{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1)
+		fe = core.NewL0(core.L0Config{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1Port)
 	case FEEMSHR:
-		fe = core.NewEMSHR(core.EMSHRConfig{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1)
+		fe = core.NewEMSHR(core.EMSHRConfig{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1Port)
 	default:
 		return nil, fmt.Errorf("sim: unknown front-end %v", cfg.FrontEnd)
 	}
 
-	c := &cpu.CPU{Cfg: cfg.CPU, IMem: imem, DMem: fe}
-	return &System{Cfg: cfg, CPU: c, IL1: il1, DL1: dl1, L2: l2, DRAM: dram, FE: fe, DL1Model: model}, nil
+	c := &cpu.CPU{Cfg: cfg.CPU, IMem: imem, DMem: wrap("FE-"+fe.Name(), fe)}
+	return &System{Cfg: cfg, CPU: c, IL1: il1, DL1: dl1, L2: l2, DRAM: dram, FE: fe, DL1Model: model, checks: checks}, nil
 }
 
 // RunResult is the outcome of one kernel on one configuration.
@@ -257,6 +284,20 @@ func (s *System) ResetTiming() {
 	s.L2.ResetTiming()
 	s.DRAM.Reset()
 	s.FE.ResetTiming()
+	// Re-baseline the oracle after the component clocks went back to 0.
+	for _, cp := range s.checks {
+		cp.ResetTiming()
+	}
+}
+
+// CheckErr audits the timing oracle (full shadow-state comparison) and
+// returns the accumulated violations; nil when checking is off or the
+// run was clean.
+func (s *System) CheckErr() error {
+	for _, cp := range s.checks {
+		cp.Audit()
+	}
+	return check.Errs(s.checks)
 }
 
 // RunCompiled executes a compiled kernel on the system: a warm-up pass
@@ -280,6 +321,9 @@ func (s *System) runOnce(ck *compile.Compiled) (*RunResult, error) {
 	}
 	res, err := s.CPU.RunState(ck.Prog, st)
 	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+	}
+	if err := s.CheckErr(); err != nil {
 		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
 	}
 	return &RunResult{
