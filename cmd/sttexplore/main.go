@@ -5,18 +5,22 @@
 // Usage:
 //
 //	sttexplore list
-//	sttexplore run [-bench name,name] [-j N] [-v] <id>|all|paper
-//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-v] <kernel>
+//	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] <id>|all|paper
+//	sttexplore dse [-space name] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check]
+//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] <kernel>
 //
 // Examples:
 //
 //	sttexplore run fig1          # the drop-in motivation experiment
 //	sttexplore run paper         # Table I + Figs. 1,3-9
 //	sttexplore run -j 8 all      # paper artifacts + ablations, 8 workers
+//	sttexplore dse -space smoke  # fast design-space sweep + Pareto frontier
+//	sttexplore dse -space proposal -csv   # full ~240-point space, CSV dump
 //	sttexplore bench -cfg vwb -opt gemm
 //
-// Simulations fan out over -j workers (default GOMAXPROCS); figures are
-// bit-identical at any -j by the determinism contract (DESIGN.md §7).
+// Simulations fan out over -j workers (default GOMAXPROCS); figures and
+// design-space evaluations are bit-identical at any -j by the
+// determinism contract (DESIGN.md §7).
 package main
 
 import (
@@ -28,6 +32,8 @@ import (
 	"time"
 
 	"sttdl1/internal/compile"
+	"sttdl1/internal/dse"
+	"sttdl1/internal/energy"
 	"sttdl1/internal/experiments"
 	"sttdl1/internal/polybench"
 	"sttdl1/internal/sim"
@@ -45,6 +51,8 @@ func main() {
 		err = cmdList()
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "dse":
+		err = cmdDse(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
@@ -64,15 +72,29 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sttexplore list
   sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] <id>|all|paper
-  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-check] <kernel>
+  sttexplore dse [-space name] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check]
+  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] <kernel>
 
 run flags:
   -j N    run up to N simulations in parallel (0 = GOMAXPROCS);
           output is bit-identical at any -j
   -v      log each completed simulation + a final engine summary
+  -csv    emit CSV instead of aligned tables
   -check  verify the timing contract (causality, clock monotonicity,
           shadow-state agreement) on every access; results unchanged,
-          any violation fails the run`)
+          any violation fails the run
+
+dse flags:
+  -space  built-in design space to explore (default smoke; see
+          'sttexplore list')
+  -top N  keep only the N lowest-penalty rows of the frontier table
+  -csv    dump every evaluated point (objectives, dominance rank) as CSV
+  -j/-v/-bench/-check as for run
+
+bench flags:
+  -opt    apply all code transformations
+  -n      problem size override (0 = benchmark default)
+  -v      also print the configuration's technology model`)
 }
 
 func cmdList() error {
@@ -83,6 +105,10 @@ func cmdList() error {
 			tag = "paper"
 		}
 		fmt.Printf("  %-20s [%s] %s\n", r.ID, tag, r.Desc)
+	}
+	fmt.Println("\ndesign spaces (sttexplore dse -space <name>):")
+	for _, sp := range dse.Spaces() {
+		fmt.Printf("  %-20s %4d point(s)  %s\n", sp.Name, len(sp.Enumerate()), sp.Desc)
 	}
 	fmt.Println("\nbenchmarks:")
 	for _, b := range polybench.All() {
@@ -157,6 +183,61 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// cmdDse explores a built-in design space: enumerate, evaluate every
+// point over the suite through the memoized parallel engine, and print
+// the Pareto frontier (or, with -csv, the full point dump). Output is
+// bit-identical at any -j.
+func cmdDse(args []string) error {
+	fs := flag.NewFlagSet("dse", flag.ExitOnError)
+	spaceName := fs.String("space", "smoke", "built-in design space (see 'sttexplore list')")
+	benchList := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
+	verbose := fs.Bool("v", false, "log each simulation")
+	csv := fs.Bool("csv", false, "dump every evaluated point as CSV instead of the frontier table")
+	top := fs.Int("top", 0, "keep only the N lowest-penalty frontier rows (0 = all)")
+	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
+	checked := fs.Bool("check", false, "run every simulation under the timing-contract oracle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("dse: unexpected argument %q (the space is selected with -space)", fs.Arg(0))
+	}
+	sp, ok := dse.ByName(*spaceName)
+	if !ok {
+		return fmt.Errorf("unknown design space %q; known: %s", *spaceName, strings.Join(dse.Names(), ", "))
+	}
+	benches, err := selectBenches(*benchList)
+	if err != nil {
+		return err
+	}
+
+	suite := experiments.NewSuiteJobs(benches, *jobs)
+	suite.SetCheck(*checked)
+	var counters stats.Counters
+	progress := newProgressLine(os.Stderr, *verbose)
+	suite.SetProgress(func(ev stats.RunEvent) {
+		counters.Observe(ev)
+		progress.observe(ev)
+	})
+
+	start := time.Now()
+	ev, err := dse.Evaluate(suite, benches, sp)
+	progress.clear()
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Printf("# dse-%s\n%s\n", sp.Name, ev.PointsTable().CSV())
+	} else {
+		fmt.Println(ev.FrontierTable(*top).Render())
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "engine: %s over %d worker(s), wall %s\n",
+			counters.Summary(), suite.Jobs(), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
 // progressLine renders engine progress on stderr: one log line per
 // completed simulation in verbose mode, otherwise a single in-place
 // live line (only when stderr is a terminal).
@@ -208,6 +289,7 @@ func cmdBench(args []string) error {
 	cfgName := fs.String("cfg", "vwb", "configuration: sram, dropin, vwb, l0, emshr")
 	opt := fs.Bool("opt", false, "apply all code transformations")
 	size := fs.Int("n", 0, "problem size override (0 = benchmark default)")
+	verbose := fs.Bool("v", false, "also print the configuration's technology model")
 	checked := fs.Bool("check", false, "run under the timing-contract oracle")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -254,6 +336,19 @@ func cmdBench(args []string) error {
 	}
 	c := res.CPU
 	fmt.Printf("%s (n=%d) on %s\n", b.Name, n, cfg.Name)
+	if *verbose {
+		m, merr := energy.ModelFor(cfg)
+		if merr != nil {
+			return merr
+		}
+		freq := cfg.FreqGHz
+		if freq <= 0 {
+			freq = 1.0
+		}
+		rd, wr := m.CyclesAt(freq)
+		fmt.Printf("  DL1 array:   %s  read %.3fns/%dcy  write %.3fns/%dcy  leak %.2fmW  area %.4fmm2\n",
+			cfg.DL1Cell, m.ReadNs, rd, m.WriteNs, wr, m.LeakageMW, m.AreaMM2)
+	}
 	fmt.Printf("  cycles       %12d   instructions %12d   IPC %.3f\n", c.Cycles, c.Insts, c.IPC())
 	fmt.Printf("  loads        %12d   stores       %12d   prefetches %d\n", c.Loads, c.Stores, c.Prefetches)
 	fmt.Printf("  branches     %12d   mispredicts  %12d\n", c.Branches, c.Mispredicts)

@@ -1,0 +1,268 @@
+// The evaluation tests live in an external test package so they can
+// drive dse through the real experiment suite: internal/experiments
+// imports dse (the ablation figures are space definitions), so the
+// dependency must point one way only.
+package dse_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sttdl1/internal/dse"
+	"sttdl1/internal/experiments"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+)
+
+// smallBenches shrinks every benchmark so a whole space evaluates in
+// seconds (same trick as the experiments package's determinism tests).
+func smallBenches(t *testing.T) []polybench.Bench {
+	t.Helper()
+	benches := polybench.All()
+	for i := range benches {
+		if benches[i].Default > 20 {
+			benches[i].Default = 20
+		}
+	}
+	return benches
+}
+
+// TestSmokeDeterministicUnderParallelism is the ISSUE's dse determinism
+// requirement: evaluating the smoke space at -j 1 and at -j 8 must
+// produce byte-identical rendered output — frontier table, full dump
+// and CSV — the same contract as internal/experiments/parallel_test.go.
+func TestSmokeDeterministicUnderParallelism(t *testing.T) {
+	benches := smallBenches(t)
+
+	eval := func(jobs int) *dse.Evaluation {
+		s := experiments.NewSuiteJobs(benches, jobs)
+		ev, err := dse.Evaluate(s, benches, dse.Smoke())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	e1, e8 := eval(1), eval(8)
+
+	if !bytes.Equal([]byte(e1.FrontierTable(0).Render()), []byte(e8.FrontierTable(0).Render())) {
+		t.Errorf("frontier table differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			e1.FrontierTable(0).Render(), e8.FrontierTable(0).Render())
+	}
+	if e1.PointsTable().CSV() != e8.PointsTable().CSV() {
+		t.Error("points CSV differs between -j 1 and -j 8")
+	}
+	if !reflect.DeepEqual(e1.Points, e8.Points) {
+		t.Errorf("raw evaluations differ:\nj1: %+v\nj8: %+v", e1.Points, e8.Points)
+	}
+}
+
+// TestEvaluateMemoizesBaseline: the shared SRAM baseline must simulate
+// once per benchmark, not once per design point — total executions are
+// (#points + 1 baseline) × #benches.
+func TestEvaluateMemoizesBaseline(t *testing.T) {
+	gemm, _ := polybench.ByName("gemm")
+	atax, _ := polybench.ByName("atax")
+	gemm.Default, atax.Default = 16, 40
+	benches := []polybench.Bench{gemm, atax}
+
+	s := experiments.NewSuiteJobs(benches, 4)
+	ev, err := dse.Evaluate(s, benches, dse.Smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := len(ev.Points) - 1 // minus the SRAM reference
+	want := (points + 1) * len(benches)
+	if got := s.SimsRun(); got != want {
+		t.Errorf("evaluation executed %d sims, want %d (%d points + shared baseline over %d benches)",
+			got, want, points, len(benches))
+	}
+}
+
+// TestProposalSpaceShape pins the structural acceptance criteria: the
+// full space enumerates well over 100 points, prunes the redundant
+// direct×rows combinations, and contains the paper's proposal
+// configuration exactly once.
+func TestProposalSpaceShape(t *testing.T) {
+	sp := dse.Proposal()
+	pts := sp.Enumerate()
+	if len(pts) < 100 {
+		t.Fatalf("proposal space has %d points, want >= 100", len(pts))
+	}
+	if len(pts) >= sp.Size() {
+		t.Errorf("constraints pruned nothing: %d of %d", len(pts), sp.Size())
+	}
+	proposals := 0
+	for _, pt := range pts {
+		if dse.IsProposal(pt.Config) {
+			proposals++
+		}
+		if pt.Config.FrontEnd == sim.FEDirect && pt.Config.BufferBits != 2048 {
+			t.Errorf("unpruned direct-front-end point %q with %d buffer bits", pt.Label, pt.Config.BufferBits)
+		}
+	}
+	if proposals != 1 {
+		t.Errorf("space contains the paper proposal %d times, want exactly once", proposals)
+	}
+}
+
+// TestIsProposalNormalizes: the named configuration (implicit defaults)
+// and a sweep's explicit spelling of the same design must both match;
+// near misses must not.
+func TestIsProposalNormalizes(t *testing.T) {
+	if !dse.IsProposal(sim.ProposalVWB()) {
+		t.Error("named proposal config not recognized")
+	}
+	explicit := sim.ProposalVWB()
+	explicit.DL1Banks = 4
+	explicit.DL1ReadLat = 4 // the model's own latency, spelled out
+	explicit.DL1WriteLat = 2
+	explicit.Name = "proposal/spelled-out"
+	if !dse.IsProposal(explicit) {
+		t.Error("explicitly spelled proposal config not recognized")
+	}
+	for _, mutate := range []func(*sim.Config){
+		func(c *sim.Config) { c.DL1Banks = 8 },
+		func(c *sim.Config) { c.BufferBits = 4096 },
+		func(c *sim.Config) { c.DL1ReadLat = 2 },
+		func(c *sim.Config) { c.FrontEnd = sim.FEL0 },
+	} {
+		c := sim.ProposalVWB()
+		mutate(&c)
+		if dse.IsProposal(c) {
+			t.Errorf("mutated config %+v recognized as the proposal", c)
+		}
+	}
+}
+
+// TestAblationSpacesMatchFigureSeries pins the single-sweep-mechanism
+// contract: the ablation spaces enumerate exactly the series labels the
+// rendered figures always carried, in order.
+func TestAblationSpacesMatchFigureSeries(t *testing.T) {
+	cases := []struct {
+		space dse.Space
+		want  []string
+	}{
+		{dse.AblationBanks(), []string{"1 bank(s)", "2 bank(s)", "4 bank(s)", "8 bank(s)"}},
+		{dse.AblationReadLat(), []string{
+			"drop-in, read=2cy", "VWB, read=2cy",
+			"drop-in, read=3cy", "VWB, read=3cy",
+			"drop-in, read=4cy", "VWB, read=4cy",
+			"drop-in, read=5cy", "VWB, read=5cy",
+			"drop-in, read=6cy", "VWB, read=6cy",
+		}},
+		{dse.AblationStoreBuf(), []string{
+			"store buffer depth 1", "store buffer depth 2", "store buffer depth 4", "store buffer depth 8",
+		}},
+		{dse.AblationWriteAsym(), []string{"write=1cy", "write=2cy", "write=3cy", "write=4cy"}},
+	}
+	for _, c := range cases {
+		pts := c.space.Enumerate()
+		got := make([]string, len(pts))
+		for i, pt := range pts {
+			got[i] = pt.Label
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s labels = %q, want %q", c.space.Name, got, c.want)
+		}
+	}
+}
+
+// TestStoreBufBaselineFollowsPoint: the store-buffer sweep's penalty
+// reference must run on the point's own core, not the default one.
+func TestStoreBufBaselineFollowsPoint(t *testing.T) {
+	sp := dse.AblationStoreBuf()
+	for _, pt := range sp.Enumerate() {
+		base := sp.BaselineFor(pt.Config)
+		if base.CPU.StoreBufDepth != pt.Config.CPU.StoreBufDepth {
+			t.Errorf("point %q: baseline store buffer %d, want %d",
+				pt.Label, base.CPU.StoreBufDepth, pt.Config.CPU.StoreBufDepth)
+		}
+		if base.DL1Cell != sim.BaselineSRAM().DL1Cell {
+			t.Errorf("point %q: baseline cell %v, want SRAM", pt.Label, base.DL1Cell)
+		}
+	}
+}
+
+// TestSmokeEvaluationSanity runs the smoke space on two kernels and
+// checks the physics the frontier rests on: the SRAM reference has
+// penalty 0 and the highest energy (leakage-dominated), every NVM point
+// has positive penalty, all objectives are positive and finite, and the
+// frontier is non-empty with the reference and the best design points
+// on it.
+func TestSmokeEvaluationSanity(t *testing.T) {
+	gemm, _ := polybench.ByName("gemm")
+	atax, _ := polybench.ByName("atax")
+	gemm.Default, atax.Default = 16, 40
+	benches := []polybench.Bench{gemm, atax}
+
+	s := experiments.NewSuiteJobs(benches, 4)
+	ev, err := dse.Evaluate(s, benches, dse.Smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref *dse.PointResult
+	frontier := 0
+	for i := range ev.Points {
+		p := &ev.Points[i]
+		if p.Obj.EnergyUJ <= 0 || p.Obj.AreaMM2 <= 0 {
+			t.Errorf("point %q: non-positive objectives %+v", p.Point.Label, p.Obj)
+		}
+		if p.Rank == 0 {
+			frontier++
+		}
+		if p.Reference {
+			ref = p
+			continue
+		}
+		if p.Obj.PenaltyPct <= 0 {
+			t.Errorf("NVM point %q has penalty %.2f, want > 0", p.Point.Label, p.Obj.PenaltyPct)
+		}
+	}
+	if ref == nil {
+		t.Fatal("no SRAM reference point in a shared-baseline space")
+	}
+	if ref.Obj.PenaltyPct != 0 {
+		t.Errorf("reference penalty = %.3f, want 0", ref.Obj.PenaltyPct)
+	}
+	if ref.Rank != 0 {
+		t.Errorf("the SRAM reference (penalty 0) must be on the frontier, got rank %d", ref.Rank)
+	}
+	for _, p := range ev.Points {
+		if !p.Reference && p.Obj.EnergyUJ >= ref.Obj.EnergyUJ {
+			t.Errorf("NVM point %q energy %.2f >= SRAM %.2f — the paper's energy claim inverted",
+				p.Point.Label, p.Obj.EnergyUJ, ref.Obj.EnergyUJ)
+		}
+	}
+	if frontier == 0 {
+		t.Error("empty frontier")
+	}
+	if !strings.Contains(ev.FrontierTable(0).Render(), "paper proposal") {
+		t.Error("frontier table does not flag the paper proposal")
+	}
+}
+
+// TestFrontierTableTop: -top must truncate deterministically and say so.
+func TestFrontierTableTop(t *testing.T) {
+	gemm, _ := polybench.ByName("gemm")
+	gemm.Default = 16
+	benches := []polybench.Bench{gemm}
+	s := experiments.NewSuiteJobs(benches, 2)
+	ev, err := dse.Evaluate(s, benches, dse.Smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ev.FrontierTable(0)
+	if len(full.Rows) < 2 {
+		t.Skipf("frontier too small (%d rows) to exercise truncation", len(full.Rows))
+	}
+	top := ev.FrontierTable(1)
+	if len(top.Rows) != 1 {
+		t.Fatalf("top-1 table has %d rows", len(top.Rows))
+	}
+	if !strings.Contains(top.Render(), "showing 1 of") {
+		t.Error("truncated table does not note the dropped rows")
+	}
+}

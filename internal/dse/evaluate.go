@@ -1,0 +1,233 @@
+package dse
+
+import (
+	"fmt"
+
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/energy"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+	"sttdl1/internal/stats"
+	"sttdl1/internal/tech"
+)
+
+// Engine is the slice of the experiment suite the exploration engine
+// needs: memoized, deduplicated simulation with parallel fan-out.
+// *experiments.Suite satisfies it; dse stays importable from
+// experiments (the ablation figures are defined as spaces) because the
+// dependency points this way only.
+type Engine interface {
+	Run(b polybench.Bench, cfg sim.Config) (*sim.RunResult, error)
+	Prefetch(benches []polybench.Bench, cfgs ...sim.Config) error
+}
+
+// Objectives is one design point's score vector. All three are
+// minimized.
+type Objectives struct {
+	// PenaltyPct is the suite-average performance penalty (%) against
+	// the point's SRAM baseline — the paper's primary metric.
+	PenaltyPct float64
+	// EnergyUJ is the suite-average DL1-subsystem energy per run (µJ):
+	// array leakage + array dynamic + front-end buffer.
+	EnergyUJ float64
+	// AreaMM2 is the DL1 array area plus the front-end buffer's.
+	AreaMM2 float64
+}
+
+// Vector returns the objectives as a minimization vector for the
+// dominance computation, in (penalty, energy, area) order.
+func (o Objectives) Vector() []float64 {
+	return []float64{o.PenaltyPct, o.EnergyUJ, o.AreaMM2}
+}
+
+// PointResult is one evaluated design point.
+type PointResult struct {
+	Point Point
+	Obj   Objectives
+	// Rank is the dominance rank: 0 = on the exact Pareto frontier,
+	// rank r is the frontier after ranks < r are removed.
+	Rank int
+	// Proposal marks the point whose configuration is the paper's VWB
+	// proposal (STT-MRAM DL1 behind a 2 Kbit VWB, default banking and
+	// model latencies).
+	Proposal bool
+	// Reference marks the shared SRAM baseline, included as a real
+	// design alternative (penalty 0 by construction).
+	Reference bool
+}
+
+// Evaluation is the outcome of exploring one space over one benchmark
+// suite.
+type Evaluation struct {
+	Space   Space
+	Benches []string
+	// Points holds every evaluated point in enumeration order, the SRAM
+	// reference (when the space has a single shared baseline) last.
+	Points []PointResult
+}
+
+// Evaluate enumerates the space, fans every (benchmark × configuration)
+// simulation — design points and their SRAM baselines — out over the
+// engine's worker pool in one batch, then scores each point and
+// computes dominance ranks. Results are consumed from the memo in
+// enumeration order, so the evaluation is bit-identical at any worker
+// count; a second Evaluate over an overlapping space on the same engine
+// re-simulates nothing.
+func Evaluate(eng Engine, benches []polybench.Bench, sp Space) (*Evaluation, error) {
+	if benches == nil {
+		benches = polybench.All()
+	}
+	pts := sp.Enumerate()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dse: space %q enumerates no points", sp.Name)
+	}
+
+	// One fan-out over everything the scoring loop will consume. The
+	// sim.Config structs are plain values, so the shared-baseline check
+	// is plain equality.
+	cfgs := make([]sim.Config, 0, 2*len(pts))
+	sharedBaseline := true
+	base0 := sp.BaselineFor(pts[0].Config)
+	for _, pt := range pts {
+		b := sp.BaselineFor(pt.Config)
+		if b != base0 {
+			sharedBaseline = false
+		}
+		cfgs = append(cfgs, pt.Config, b)
+	}
+	if err := eng.Prefetch(benches, cfgs...); err != nil {
+		return nil, fmt.Errorf("dse: %s: %w", sp.Name, err)
+	}
+
+	ev := &Evaluation{Space: sp, Benches: benchNames(benches)}
+	for _, pt := range pts {
+		obj, err := score(eng, benches, pt.Config, sp.BaselineFor(pt.Config))
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: point %s: %w", sp.Name, pt.Label, err)
+		}
+		ev.Points = append(ev.Points, PointResult{
+			Point:    pt,
+			Obj:      obj,
+			Proposal: IsProposal(pt.Config),
+		})
+	}
+	// The shared SRAM baseline is itself a design alternative: penalty 0
+	// at SRAM leakage and area. Include it in the dominance computation
+	// when the whole space measures against one baseline.
+	if sharedBaseline {
+		obj, err := score(eng, benches, base0, base0)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: baseline: %w", sp.Name, err)
+		}
+		ref := base0
+		ev.Points = append(ev.Points, PointResult{
+			Point: Point{
+				Index:  len(pts),
+				Label:  ref.Name,
+				Config: ref,
+			},
+			Obj:       obj,
+			Reference: true,
+		})
+	}
+
+	objs := make([][]float64, len(ev.Points))
+	for i, p := range ev.Points {
+		objs[i] = p.Obj.Vector()
+	}
+	for i, r := range Ranks(objs) {
+		ev.Points[i].Rank = r
+	}
+	return ev, nil
+}
+
+// score computes one configuration's objectives against its baseline.
+// Every simulation it consumes is already memoized by the batch
+// fan-out.
+func score(eng Engine, benches []polybench.Bench, cfg, base sim.Config) (Objectives, error) {
+	model, err := energy.ModelFor(cfg)
+	if err != nil {
+		return Objectives{}, err
+	}
+	pens := make([]float64, len(benches))
+	var totalUJ float64
+	for i, b := range benches {
+		br, err := eng.Run(b, base)
+		if err != nil {
+			return Objectives{}, err
+		}
+		pr, err := eng.Run(b, cfg)
+		if err != nil {
+			return Objectives{}, err
+		}
+		pens[i] = stats.Penalty(br.CPU.Cycles, pr.CPU.Cycles)
+		totalUJ += energy.TotalUJ(pr, cfg, model)
+	}
+	area := model.AreaMM2
+	if energy.Buffered(cfg) {
+		bits := cfg.BufferBits
+		if bits <= 0 {
+			bits = 2048
+		}
+		area += energy.BufferAreaMM2(bits)
+	}
+	return Objectives{
+		PenaltyPct: stats.Mean(pens),
+		EnergyUJ:   totalUJ / float64(len(benches)),
+		AreaMM2:    area,
+	}, nil
+}
+
+// IsProposal reports whether cfg is the paper's VWB proposal design
+// point, normalizing the knobs a sweep sets explicitly against the
+// defaults the named sim.ProposalVWB configuration leaves implicit
+// (bank count, buffer size, core config, model latencies).
+func IsProposal(cfg sim.Config) bool {
+	want := sim.ProposalVWB()
+	if cfg.DL1Cell != want.DL1Cell || cfg.FrontEnd != want.FrontEnd {
+		return false
+	}
+	return normalize(cfg) == normalize(want)
+}
+
+// normalize resolves a configuration's defaulted knobs to their
+// effective values and strips fields that don't change the simulated
+// design (Name, Check), so two configs compare equal exactly when they
+// key the same simulation.
+func normalize(cfg sim.Config) sim.Config {
+	cfg.Name = ""
+	cfg.Check = false
+	if cfg.DL1Banks <= 0 {
+		cfg.DL1Banks = 4
+	}
+	if cfg.BufferBits <= 0 {
+		cfg.BufferBits = 2048
+	}
+	if cfg.FreqGHz <= 0 {
+		cfg.FreqGHz = 1.0
+	}
+	if cfg.CPU.IssueWidth == 0 {
+		cfg.CPU = cpu.DefaultConfig()
+	}
+	if m, err := tech.Compute(tech.DefaultArray(cfg.DL1Cell)); err == nil {
+		rd, wr := m.CyclesAt(cfg.FreqGHz)
+		if cfg.DL1ReadLat <= 0 {
+			cfg.DL1ReadLat = rd
+		}
+		if cfg.DL1WriteLat <= 0 {
+			cfg.DL1WriteLat = wr
+		}
+	}
+	if cfg.VWBTransfer <= 0 {
+		cfg.VWBTransfer = 1
+	}
+	return cfg
+}
+
+func benchNames(benches []polybench.Bench) []string {
+	out := make([]string, len(benches))
+	for i, b := range benches {
+		out[i] = b.Name
+	}
+	return out
+}

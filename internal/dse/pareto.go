@@ -1,0 +1,84 @@
+package dse
+
+// Multi-objective dominance over minimization objectives. The sweep
+// sizes here (a few hundred points, 2-3 objectives) make the exact
+// O(n²·d) formulation the right tool: no approximation, no tie-break
+// subtleties, and the property test (pareto_test.go) can pin it against
+// an independently written filter.
+
+// Dominates reports whether objective vector a dominates b under
+// minimization: a is no worse than b in every objective and strictly
+// better in at least one. Vectors of unequal length never dominate.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Frontier returns the indices (in input order) of the non-dominated
+// vectors — the exact Pareto frontier. Duplicate vectors do not
+// dominate each other, so equal-valued points appear together.
+func Frontier(objs [][]float64) []int {
+	var out []int
+	for i, a := range objs {
+		dominated := false
+		for j, b := range objs {
+			if i != j && Dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Ranks computes the dominance rank of every vector by iterative
+// non-dominated sorting: rank 0 is the Pareto frontier, rank 1 the
+// frontier of what remains after removing rank 0, and so on. Every
+// vector of rank r > 0 is dominated by at least one vector of rank
+// r - 1.
+func Ranks(objs [][]float64) []int {
+	ranks := make([]int, len(objs))
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	remaining := len(objs)
+	for rank := 0; remaining > 0; rank++ {
+		// One peeling pass: a vector joins this rank if nothing still
+		// unranked dominates it.
+		var layer []int
+		for i, a := range objs {
+			if ranks[i] >= 0 {
+				continue
+			}
+			dominated := false
+			for j, b := range objs {
+				if ranks[j] < 0 && i != j && Dominates(b, a) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				layer = append(layer, i)
+			}
+		}
+		for _, i := range layer {
+			ranks[i] = rank
+		}
+		remaining -= len(layer)
+	}
+	return ranks
+}

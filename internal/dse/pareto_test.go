@@ -1,0 +1,190 @@
+package dse
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteFrontier is an independently written O(n²) dominance filter the
+// property test pins Frontier against: a vector is on the frontier iff
+// no other vector is ≤ in every coordinate and < in one. It is written
+// as differently as a correct filter reasonably can be (counting
+// strictly-better coordinates instead of short-circuiting).
+func bruteFrontier(objs [][]float64) []int {
+	var out []int
+	for i := range objs {
+		dominated := false
+		for j := range objs {
+			if j == i {
+				continue
+			}
+			leq, less := 0, 0
+			for d := range objs[j] {
+				if objs[j][d] <= objs[i][d] {
+					leq++
+				}
+				if objs[j][d] < objs[i][d] {
+					less++
+				}
+			}
+			if leq == len(objs[j]) && less > 0 {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// objSet is a quick.Generator producing random objective matrices:
+// up to 60 vectors sharing one dimensionality of 1..4, with values
+// drawn from a small grid so duplicates and per-coordinate ties are
+// common (the interesting dominance cases).
+type objSet [][]float64
+
+func (objSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(60) + 1
+	dims := r.Intn(4) + 1
+	objs := make([][]float64, n)
+	for i := range objs {
+		v := make([]float64, dims)
+		for d := range v {
+			v[d] = float64(r.Intn(8)) // coarse grid forces ties
+		}
+		objs[i] = v
+	}
+	return reflect.ValueOf(objSet(objs))
+}
+
+// TestFrontierEqualsBruteForce is the ISSUE's property test: the Pareto
+// set equals brute-force dominance filtering on random objective
+// vectors.
+func TestFrontierEqualsBruteForce(t *testing.T) {
+	prop := func(objs objSet) bool {
+		return reflect.DeepEqual(Frontier(objs), bruteFrontier(objs))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRanksProperties checks the non-dominated-sorting invariants on
+// random inputs: rank 0 is exactly the frontier; every vector of rank
+// r > 0 is dominated by some vector of rank r-1 and by none of rank
+// >= r; ranks are dense from 0.
+func TestRanksProperties(t *testing.T) {
+	prop := func(objs objSet) bool {
+		ranks := Ranks(objs)
+		if len(ranks) != len(objs) {
+			return false
+		}
+		var rank0 []int
+		maxRank := 0
+		for i, r := range ranks {
+			if r < 0 {
+				return false
+			}
+			if r == 0 {
+				rank0 = append(rank0, i)
+			}
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		if !reflect.DeepEqual(rank0, Frontier(objs)) {
+			return false
+		}
+		seen := make([]bool, maxRank+1)
+		for _, r := range ranks {
+			seen[r] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false // ranks must be dense
+			}
+		}
+		for i, r := range ranks {
+			if r == 0 {
+				continue
+			}
+			foundParent := false
+			for j := range objs {
+				if !Dominates(objs[j], objs[i]) {
+					continue
+				}
+				if ranks[j] >= r {
+					return false // dominated by an equal-or-worse rank
+				}
+				if ranks[j] == r-1 {
+					foundParent = true
+				}
+			}
+			if !foundParent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict coordinate
+		{[]float64{1, 1}, []float64{1, 2}, true},
+		{[]float64{1}, []float64{1, 2}, false}, // length mismatch
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFrontierKnown pins a hand-checked 2-D example, duplicates
+// included: both copies of a non-dominated vector stay on the frontier.
+func TestFrontierKnown(t *testing.T) {
+	objs := [][]float64{
+		{3, 1}, // frontier
+		{1, 3}, // frontier
+		{2, 2}, // frontier
+		{3, 3}, // dominated by {2,2}
+		{2, 2}, // duplicate of an optimum: also frontier
+		{4, 1}, // dominated by {3,1}
+	}
+	want := []int{0, 1, 2, 4}
+	if got := Frontier(objs); !reflect.DeepEqual(got, want) {
+		t.Errorf("Frontier = %v, want %v", got, want)
+	}
+	ranks := Ranks(objs)
+	wantRanks := []int{0, 0, 0, 1, 0, 1}
+	if !reflect.DeepEqual(ranks, wantRanks) {
+		t.Errorf("Ranks = %v, want %v", ranks, wantRanks)
+	}
+}
+
+// TestFrontierOrderStable: frontier indices come back in input order
+// whatever the value pattern (sortedness is what downstream tables rely
+// on for determinism).
+func TestFrontierOrderStable(t *testing.T) {
+	prop := func(objs objSet) bool {
+		f := Frontier(objs)
+		return sort.IntsAreSorted(f)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"sttdl1/internal/stats"
+)
+
+// note returns the annotation column for a point.
+func note(p PointResult) string {
+	switch {
+	case p.Proposal:
+		return "paper proposal"
+	case p.Reference:
+		return "sram reference"
+	}
+	return ""
+}
+
+func objCells(o Objectives) []string {
+	return []string{
+		fmt.Sprintf("%.1f", o.PenaltyPct),
+		fmt.Sprintf("%.2f", o.EnergyUJ),
+		fmt.Sprintf("%.4f", o.AreaMM2),
+	}
+}
+
+var objColumns = []string{"Penalty (%)", "Energy (uJ)", "Area (mm2)"}
+
+// summaryNote is the engine's one-line account of the evaluation.
+func (e *Evaluation) summaryNote() string {
+	frontier := 0
+	for _, p := range e.Points {
+		if p.Rank == 0 {
+			frontier++
+		}
+	}
+	return fmt.Sprintf("space %s: %d design point(s) (pruned from %d), %d reference(s); frontier %d of %d; %d benchmark(s)",
+		e.Space.Name, e.designPoints(), e.Space.Size(),
+		len(e.Points)-e.designPoints(), frontier, len(e.Points), len(e.Benches))
+}
+
+// designPoints counts the evaluated points excluding the reference.
+func (e *Evaluation) designPoints() int {
+	n := 0
+	for _, p := range e.Points {
+		if !p.Reference {
+			n++
+		}
+	}
+	return n
+}
+
+// FrontierTable renders the Pareto frontier (dominance rank 0, the
+// SRAM reference included when it is non-dominated) sorted by ascending
+// penalty, ties by label. top > 0 keeps only the first top rows.
+func (e *Evaluation) FrontierTable(top int) stats.Table {
+	var rows []PointResult
+	for _, p := range e.Points {
+		if p.Rank == 0 {
+			rows = append(rows, p)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Obj.PenaltyPct != rows[j].Obj.PenaltyPct {
+			return rows[i].Obj.PenaltyPct < rows[j].Obj.PenaltyPct
+		}
+		return rows[i].Point.Label < rows[j].Point.Label
+	})
+
+	t := stats.Table{
+		ID:      "dse-" + e.Space.Name,
+		Title:   fmt.Sprintf("Pareto frontier of design space %q (minimize penalty, energy, area)", e.Space.Name),
+		Columns: append([]string{"Design point"}, append(append([]string{}, objColumns...), "Note")...),
+	}
+	for _, p := range rows {
+		t.Rows = append(t.Rows, append(append([]string{p.Point.Label}, objCells(p.Obj)...), note(p)))
+	}
+	t.Notes = append(t.Notes, e.summaryNote())
+	if prop := e.proposalRank(); prop >= 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("paper proposal dominance rank: %d (0 = on the frontier)", prop))
+	}
+	return t.Head(top)
+}
+
+// proposalRank returns the dominance rank of the paper's proposal point
+// (-1 when the space doesn't contain it).
+func (e *Evaluation) proposalRank() int {
+	for _, p := range e.Points {
+		if p.Proposal {
+			return p.Rank
+		}
+	}
+	return -1
+}
+
+// PointsTable renders every evaluated point in enumeration order with
+// its per-axis settings, objectives and dominance rank — the full dump
+// behind the frontier, CSV-friendly via stats.Table.CSV.
+func (e *Evaluation) PointsTable() stats.Table {
+	t := stats.Table{
+		ID:    "dse-" + e.Space.Name + "-points",
+		Title: fmt.Sprintf("All evaluated points of design space %q", e.Space.Name),
+	}
+	t.Columns = []string{"Design point"}
+	for _, a := range e.Space.Axes {
+		t.Columns = append(t.Columns, a.Name)
+	}
+	t.Columns = append(t.Columns, objColumns...)
+	t.Columns = append(t.Columns, "Rank", "Frontier", "Note")
+
+	for _, p := range e.Points {
+		row := []string{p.Point.Label}
+		for i := range e.Space.Axes {
+			if i < len(p.Point.Labels) {
+				row = append(row, p.Point.Labels[i])
+			} else {
+				row = append(row, "") // the reference point spans no axes
+			}
+		}
+		row = append(row, objCells(p.Obj)...)
+		frontier := "no"
+		if p.Rank == 0 {
+			frontier = "yes"
+		}
+		row = append(row, fmt.Sprintf("%d", p.Rank), frontier, note(p))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, e.summaryNote())
+	return t
+}

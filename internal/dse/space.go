@@ -1,0 +1,173 @@
+// Package dse is the design-space exploration engine: declarative
+// sweeps over the simulator's configuration knobs, memoized evaluation
+// of every design point over the benchmark suite, multi-objective
+// scoring (performance penalty, DL1 energy, area) and an exact Pareto
+// frontier with dominance ranking — the "system level exploration" the
+// paper's title promises, generalized beyond its hand-picked points.
+//
+// A Space names axes (front-end kind, buffer rows, NVM banks, read and
+// write latency, store-buffer depth, ...) whose cross product is
+// enumerated into concrete sim.Configs, pruned by declarative
+// constraints. Evaluation runs through the experiment suite's memoizing
+// parallel engine (internal/runner), so the shared SRAM baseline
+// simulates once no matter how many points reference it, and output is
+// bit-identical at any worker count (DESIGN.md §7.3).
+package dse
+
+import (
+	"fmt"
+	"strings"
+
+	"sttdl1/internal/sim"
+)
+
+// Value is one setting of an axis: a human-readable label and the
+// mutation it applies to the design point's configuration.
+type Value struct {
+	Label string
+	Apply func(*sim.Config)
+}
+
+// Axis is one named dimension of a design space.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// Constraint prunes assembled configurations from a space's cross
+// product — e.g. a direct (bufferless) front-end makes the buffer-size
+// axis meaningless, so all but one of its settings are redundant.
+type Constraint struct {
+	Desc string
+	// Keep reports whether the assembled configuration is a real,
+	// distinct design point.
+	Keep func(cfg sim.Config) bool
+}
+
+// Space is a declarative design space: a base configuration, the axes
+// swept over it, and the constraints pruning the cross product.
+type Space struct {
+	Name string
+	Desc string
+
+	// Base returns the starting configuration every point mutates.
+	Base func() sim.Config
+
+	// Baseline derives the penalty reference for a point. nil means the
+	// SRAM baseline compiled with the point's own options and running on
+	// the point's own core (penalty against an equal-software,
+	// equal-core SRAM machine — the paper's methodology).
+	Baseline func(pt sim.Config) sim.Config
+
+	Axes        []Axis
+	Constraints []Constraint
+
+	// PointLabel formats a point's label from its per-axis value labels
+	// (parallel to Axes). nil means strings.Join(labels, ", ").
+	PointLabel func(labels []string) string
+}
+
+// Point is one enumerated design point.
+type Point struct {
+	// Index is the point's position in the pruned enumeration order.
+	Index int
+	// Label is the point's display name (PointLabel of the axis labels).
+	Label string
+	// Labels holds the chosen value label per axis, parallel to Axes.
+	Labels []string
+	// Config is the assembled simulator configuration.
+	Config sim.Config
+}
+
+// Size returns the unpruned cross-product size of the space.
+func (s Space) Size() int {
+	n := 1
+	for _, a := range s.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// BaselineFor returns the penalty reference configuration for a design
+// point's configuration (see Space.Baseline).
+func (s Space) BaselineFor(pt sim.Config) sim.Config {
+	if s.Baseline != nil {
+		return s.Baseline(pt)
+	}
+	base := sim.BaselineSRAM()
+	base.Compile = pt.Compile
+	base.CPU = pt.CPU
+	return base
+}
+
+// Enumerate expands the space's cross product in odometer order (the
+// first axis is the outermost digit), applies every axis value to a
+// fresh Base configuration, drops configurations any constraint
+// rejects, and returns the surviving points. The order is a pure
+// function of the space definition, so everything downstream —
+// evaluation batches, tables, CSV — is deterministic.
+func (s Space) Enumerate() []Point {
+	if len(s.Axes) == 0 {
+		return nil
+	}
+	idx := make([]int, len(s.Axes))
+	var out []Point
+	for {
+		cfg := s.Base()
+		labels := make([]string, len(s.Axes))
+		for ai, a := range s.Axes {
+			v := a.Values[idx[ai]]
+			labels[ai] = v.Label
+			if v.Apply != nil {
+				v.Apply(&cfg)
+			}
+		}
+		if s.keep(cfg) {
+			label := s.label(labels)
+			cfg.Name = s.Name + "/" + label
+			out = append(out, Point{Index: len(out), Label: label, Labels: labels, Config: cfg})
+		}
+		// Advance the odometer, last axis fastest.
+		ai := len(idx) - 1
+		for ; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(s.Axes[ai].Values) {
+				break
+			}
+			idx[ai] = 0
+		}
+		if ai < 0 {
+			return out
+		}
+	}
+}
+
+func (s Space) keep(cfg sim.Config) bool {
+	for _, c := range s.Constraints {
+		if !c.Keep(cfg) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Space) label(labels []string) string {
+	if s.PointLabel != nil {
+		return s.PointLabel(labels)
+	}
+	return strings.Join(labels, ", ")
+}
+
+// AxisLabel returns the point's value label on the named axis of sp
+// ("" if sp has no such axis).
+func (p Point) AxisLabel(sp Space, axis string) string {
+	for i, a := range sp.Axes {
+		if a.Name == axis && i < len(p.Labels) {
+			return p.Labels[i]
+		}
+	}
+	return ""
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p Point) String() string { return fmt.Sprintf("#%d %s", p.Index, p.Label) }

@@ -1,0 +1,263 @@
+package dse
+
+import (
+	"fmt"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/sim"
+)
+
+// The built-in spaces. Two drive the `sttexplore dse` subcommand's
+// headline runs — the full proposal space and a fast smoke space — and
+// four single-axis spaces re-express the 1-D ablation figures, so the
+// repo has exactly one sweep mechanism (the ablation runners in
+// internal/experiments enumerate these spaces point by point and render
+// the same figures, byte for byte, they always have).
+
+// Spaces lists every built-in design space, headline spaces first.
+func Spaces() []Space {
+	return []Space{
+		Proposal(),
+		Smoke(),
+		AblationBanks(),
+		AblationReadLat(),
+		AblationStoreBuf(),
+		AblationWriteAsym(),
+	}
+}
+
+// ByName looks a built-in space up.
+func ByName(name string) (Space, bool) {
+	for _, s := range Spaces() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Space{}, false
+}
+
+// Names lists the built-in space names in registry order.
+func Names() []string {
+	ss := Spaces()
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// sttBase is the neutral STT-MRAM starting point every proposal-space
+// configuration mutates: drop-in NVM DL1, knobs at the platform
+// defaults the axes then override.
+func sttBase() sim.Config {
+	cfg := sim.DropInSTT()
+	cfg.DL1Banks = 4
+	return cfg
+}
+
+// Axis builders shared by the spaces.
+
+func frontEndAxis() Axis {
+	set := func(k sim.FrontEndKind) func(*sim.Config) {
+		return func(c *sim.Config) {
+			c.FrontEnd = k
+			if k != sim.FEDirect && c.BufferBits == 0 {
+				c.BufferBits = 2048
+			}
+		}
+	}
+	return Axis{Name: "front-end", Values: []Value{
+		{Label: "direct", Apply: set(sim.FEDirect)},
+		{Label: "vwb", Apply: set(sim.FEVWB)},
+		{Label: "l0", Apply: set(sim.FEL0)},
+		{Label: "emshr", Apply: set(sim.FEEMSHR)},
+	}}
+}
+
+func rowsAxis(bits ...int) Axis {
+	a := Axis{Name: "rows"}
+	for _, b := range bits {
+		b := b
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf("%dKbit", b/1024),
+			Apply: func(c *sim.Config) { c.BufferBits = b },
+		})
+	}
+	return a
+}
+
+func banksAxis(label string, banks ...int) Axis {
+	a := Axis{Name: "banks"}
+	for _, nb := range banks {
+		nb := nb
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf(label, nb),
+			Apply: func(c *sim.Config) { c.DL1Banks = nb },
+		})
+	}
+	return a
+}
+
+func readLatAxis(label string, lats ...int64) Axis {
+	a := Axis{Name: "read-latency"}
+	for _, rl := range lats {
+		rl := rl
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf(label, rl),
+			Apply: func(c *sim.Config) { c.DL1ReadLat = rl },
+		})
+	}
+	return a
+}
+
+func writeLatAxis(label string, lats ...int64) Axis {
+	a := Axis{Name: "write-latency"}
+	for _, wl := range lats {
+		wl := wl
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf(label, wl),
+			Apply: func(c *sim.Config) { c.DL1WriteLat = wl },
+		})
+	}
+	return a
+}
+
+func storeBufAxis(label string, depths ...int) Axis {
+	a := Axis{Name: "store-buffer"}
+	for _, d := range depths {
+		d := d
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf(label, d),
+			Apply: func(c *sim.Config) {
+				cc := cpu.DefaultConfig()
+				cc.StoreBufDepth = d
+				c.CPU = cc
+			},
+		})
+	}
+	return a
+}
+
+// Proposal is the full design space around the paper's proposal: every
+// front-end alternative (drop-in direct, VWB, L0, EMSHR) crossed with
+// buffer size, NVM bank count, and the STT-MRAM read/write latency
+// assumptions — 240 points after pruning. The paper's own proposal
+// (vwb, 2 Kbit, 4 banks, read=4cy, write=2cy) is one of them; the
+// exploration's job is to show where it sits on the penalty/energy/area
+// frontier.
+func Proposal() Space {
+	return Space{
+		Name: "proposal",
+		Desc: "front-end × buffer rows × NVM banks × read/write latency around the paper's proposal",
+		Base: sttBase,
+		Axes: []Axis{
+			frontEndAxis(),
+			rowsAxis(1024, 2048, 4096),
+			banksAxis("%dbank", 1, 2, 4, 8),
+			readLatAxis("read=%dcy", 2, 4, 6),
+			writeLatAxis("write=%dcy", 1, 2),
+		},
+		Constraints: []Constraint{{
+			Desc: "a direct front-end has no buffer: keep only the 2Kbit placeholder",
+			Keep: func(c sim.Config) bool {
+				return c.FrontEnd != sim.FEDirect || c.BufferBits == 2048
+			},
+		}},
+	}
+}
+
+// Smoke is the fast space for CI and the determinism tests: front-end ×
+// buffer rows × banks, model latencies only — 10 points, seconds to
+// evaluate, with a non-trivial frontier (direct, VWB and EMSHR all
+// appear, at two buffer sizes and two bankings).
+func Smoke() Space {
+	return Space{
+		Name: "smoke",
+		Desc: "fast CI space: front-end × rows × banks at model latencies",
+		Base: sttBase,
+		Axes: []Axis{
+			{Name: "front-end", Values: []Value{
+				{Label: "direct", Apply: func(c *sim.Config) { c.FrontEnd = sim.FEDirect; c.BufferBits = 2048 }},
+				{Label: "vwb", Apply: func(c *sim.Config) { c.FrontEnd = sim.FEVWB }},
+				{Label: "emshr", Apply: func(c *sim.Config) { c.FrontEnd = sim.FEEMSHR }},
+			}},
+			rowsAxis(1024, 2048),
+			banksAxis("%dbank", 1, 4),
+		},
+		Constraints: []Constraint{{
+			Desc: "a direct front-end has no buffer: keep only the 2Kbit placeholder",
+			Keep: func(c sim.Config) bool {
+				return c.FrontEnd != sim.FEDirect || c.BufferBits == 2048
+			},
+		}},
+	}
+}
+
+// The four 1-D ablation spaces (DESIGN.md §6). Axis value labels are
+// the exact series labels of the rendered ablation figures — the
+// figure runners consume the enumeration directly.
+
+// AblationBanks sweeps the banked NVM array under the optimized
+// proposal: 1..8 banks (paper §IV's promotion-conflict stall scenario).
+func AblationBanks() Space {
+	return Space{
+		Name: "ablation-banks",
+		Desc: "optimized proposal vs NVM array bank count",
+		Base: func() sim.Config {
+			cfg := sim.ProposalVWB()
+			cfg.Compile = compile.AllOptimizations()
+			return cfg
+		},
+		Axes: []Axis{banksAxis("%d bank(s)", 1, 2, 4, 8)},
+	}
+}
+
+// AblationReadLat crosses the STT-MRAM read-latency assumption
+// (2x..6x the SRAM cycle) with the drop-in and VWB front-ends: where
+// does the VWB stop rescuing the drop-in penalty?
+func AblationReadLat() Space {
+	return Space{
+		Name: "ablation-readlat",
+		Desc: "drop-in and VWB vs STT-MRAM read latency 2..6 cycles",
+		Base: sim.DropInSTT,
+		Axes: []Axis{
+			readLatAxis("read=%dcy", 2, 3, 4, 5, 6),
+			{Name: "front-end", Values: []Value{
+				{Label: "drop-in"},
+				{Label: "VWB", Apply: func(c *sim.Config) {
+					c.FrontEnd = sim.FEVWB
+					c.BufferBits = 2048
+				}},
+			}},
+		},
+		// The figures label each series "drop-in, read=2cy" — front-end
+		// first, latency second — while the enumeration order needs the
+		// latency outermost.
+		PointLabel: func(labels []string) string { return labels[1] + ", " + labels[0] },
+	}
+}
+
+// AblationStoreBuf sweeps the core's store-buffer depth under the
+// drop-in NVM DL1's 2-cycle writes (§III: write latency "can still be
+// managed" by buffering). The penalty baseline shares each point's
+// core, so the sweep isolates the NVM write effect.
+func AblationStoreBuf() Space {
+	return Space{
+		Name: "ablation-storebuf",
+		Desc: "drop-in penalty vs core store-buffer depth",
+		Base: sim.DropInSTT,
+		Axes: []Axis{storeBufAxis("store buffer depth %d", 1, 2, 4, 8)},
+	}
+}
+
+// AblationWriteAsym sweeps the DL1 write latency 1..4 cycles on the
+// drop-in configuration — the AWARE-style asymmetric-write question.
+func AblationWriteAsym() Space {
+	return Space{
+		Name: "ablation-writeasym",
+		Desc: "drop-in penalty vs DL1 write latency 1..4 cycles",
+		Base: sim.DropInSTT,
+		Axes: []Axis{writeLatAxis("write=%dcy", 1, 2, 3, 4)},
+	}
+}

@@ -1,0 +1,177 @@
+// Package energy is the DL1 energy and area model shared by the
+// experiment runners (the `energy` table) and the design-space
+// exploration engine (internal/dse). The paper's conclusion defers this
+// story — "the use of NVMs also allows gains in area and even energy
+// (power models have yet to be fully developed though)" — so the model
+// here is developed from the internal/tech array model:
+//
+//	DL1 energy = leakage power x runtime
+//	           + per-row-activation dynamic energy x access counts
+//	           + front-end buffer energy (register rows close to logic)
+//
+// At 1 GHz the arithmetic is friendly: 1 mW x 1 cycle = 1 pJ.
+package energy
+
+import (
+	"sttdl1/internal/sim"
+	"sttdl1/internal/tech"
+)
+
+// DL1UJ computes the DL1 array energy (in µJ) of one run: leakage
+// (power x runtime) and dynamic (per-row-activation energies from the
+// technology model, accumulated over the simulated access streams).
+func DL1UJ(r *sim.RunResult, m tech.Model) (leakUJ, dynUJ float64) {
+	cycles := float64(r.CPU.Cycles)
+	leakPJ := m.LeakageMW * cycles // mW x ns = pJ
+
+	// Every array access activates a row: reads, fills and the read half
+	// of a miss pay ReadPJ; writes and received writebacks pay WritePJ.
+	st := r.DL1Stats
+	readOps := float64(st.Reads + st.Prefetches)
+	writeOps := float64(st.Writes + st.WriteBacks)
+	// Misses additionally write the incoming line into the array.
+	writeOps += float64(st.Misses())
+	dynPJ := readOps*m.ReadPJ + writeOps*m.WritePJ
+
+	return leakPJ / 1e6, dynPJ / 1e6
+}
+
+// Per-access buffer energy: a register row read close to logic plus a
+// fully-associative row match. The row term is fixed; the match term
+// grows with the number of rows searched — the FA-search cost that made
+// the paper stop at 2 Kbit. At the paper's 2 Kbit / 64 B rows (4 rows)
+// the sum is the legacy 0.9 pJ the energy table was calibrated with.
+const (
+	bufRowReadPJ  = 0.45   // 512-bit register row + output MUX
+	bufRowMatchPJ = 0.1125 // per-row FA tag compare
+)
+
+// BufferUJ approximates the front-end buffer's dynamic energy over one
+// run for a buffer of the given size in bits (rows of 512 bits, the
+// 64 B line). It applies to any of the retained-line front-ends (VWB,
+// L0, EMSHR): all are small FA row files searched on every access.
+func BufferUJ(r *sim.RunResult, sizeBits int) float64 {
+	rows := float64(sizeBits) / 512
+	if rows < 1 {
+		rows = 1
+	}
+	perOpPJ := bufRowReadPJ + bufRowMatchPJ*rows
+	ops := float64(r.FEStats.Accesses() + r.FEStats.Prefetches)
+	return ops * perOpPJ / 1e6
+}
+
+// bufFlopF2 is the per-bit area of the buffer's register rows in F²: a
+// latch plus its share of the write MUX and FA match logic, ~4x the 6T
+// SRAM cell.
+const bufFlopF2 = 4 * 146
+
+// camRowAreaOvh is the per-bit area growth per row beyond the 4-row
+// (2 Kbit) calibration point: every added row lengthens the FA match
+// lines and widens the priority/select network that every bit's output
+// drives, so CAM area per bit grows with associativity. This is the
+// area face of the search cost that made the paper stop at 2 Kbit.
+const camRowAreaOvh = 0.06
+
+// BufferAreaMM2 approximates the front-end buffer's area at 32 nm.
+func BufferAreaMM2(sizeBits int) float64 {
+	const f2 = 32 * 32 * 1e-12 // mm² per F² at 32 nm
+	const periphOvh = 0.35
+	rows := float64(sizeBits) / 512
+	camOvh := 0.0
+	if rows > 4 {
+		camOvh = camRowAreaOvh * (rows - 4)
+	}
+	return float64(sizeBits) * bufFlopF2 * f2 * (1 + periphOvh + camOvh)
+}
+
+// Bank periphery adjustment, relative to the default 4-bank DL1 the
+// tech model is calibrated against (sim's withDefaults): each extra
+// bank duplicates sense amplifiers, write drivers and a slice of the
+// decoder, costing leakage and area; fewer banks give some of it back.
+const (
+	bankLeakMW  = 0.9  // periphery leakage per bank beyond the default 4
+	bankAreaOvh = 0.02 // area fraction per bank beyond the default 4
+)
+
+// senseLeakMW is the static cost of overdriving the read path: sensing
+// faster than the technology model's nominal latency takes a larger,
+// permanently biased sense current, so array leakage grows with the
+// speedup (5 mW per unit of rd/override - 1, ~18% of array leakage for
+// a 2x overdrive). Slower-than-nominal reads get no credit — the sense
+// network is sized for nominal and its bias does not shrink with a
+// relaxed timing budget. Write drivers are gated, not statically
+// biased, so write overrides stay a purely dynamic cost.
+const senseLeakMW = 5.0
+
+// ModelFor returns the DL1 technology model behind cfg with the
+// configuration's exploration knobs folded into the energy/area side:
+//
+//   - A latency override buys its speed with current: per-access energy
+//     scales inversely with the time the array is given (a faster
+//     differential sense needs a larger read bias; a shorter write
+//     pulse needs a larger switching current, E ≈ I²t with I ∝ 1/t).
+//     Reads faster than nominal additionally pay senseLeakMW of static
+//     power per unit of overdrive — without it a leakage-dominated
+//     array would get faster AND cheaper, since the shorter runtime
+//     saves more leakage energy than the larger bias spends. An
+//     override equal to the model's own latency changes nothing.
+//   - A bank count away from the default 4 adds (or removes) duplicated
+//     periphery: leakage and area move by a per-bank increment.
+//
+// For the named paper configurations (no overrides, default banking)
+// ModelFor is exactly tech.Compute of the default array, so the energy
+// table's calibration is untouched.
+func ModelFor(cfg sim.Config) (tech.Model, error) {
+	m, err := tech.Compute(tech.DefaultArray(cfg.DL1Cell))
+	if err != nil {
+		return tech.Model{}, err
+	}
+	freq := cfg.FreqGHz
+	if freq <= 0 {
+		freq = 1.0
+	}
+	rd, wr := m.CyclesAt(freq)
+	if cfg.DL1ReadLat > 0 && cfg.DL1ReadLat != rd {
+		m.ReadPJ *= float64(rd) / float64(cfg.DL1ReadLat)
+		if cfg.DL1ReadLat < rd {
+			m.LeakageMW += senseLeakMW * (float64(rd)/float64(cfg.DL1ReadLat) - 1)
+		}
+	}
+	if cfg.DL1WriteLat > 0 && cfg.DL1WriteLat != wr {
+		m.WritePJ *= float64(wr) / float64(cfg.DL1WriteLat)
+	}
+	banks := cfg.DL1Banks
+	if banks <= 0 {
+		banks = 4
+	}
+	if banks != 4 {
+		m.LeakageMW += bankLeakMW * float64(banks-4)
+		scale := 1 + bankAreaOvh*float64(banks-4)
+		if scale < 0.5 {
+			scale = 0.5
+		}
+		m.AreaMM2 *= scale
+	}
+	return m, nil
+}
+
+// Buffered reports whether cfg places a retained-line buffer (VWB, L0
+// or EMSHR) between the core and the DL1, i.e. whether the buffer
+// energy/area terms apply.
+func Buffered(cfg sim.Config) bool { return cfg.FrontEnd != sim.FEDirect }
+
+// TotalUJ is the full DL1-subsystem energy of one run under cfg:
+// array leakage + array dynamic + buffer dynamic (when cfg has a
+// front-end buffer).
+func TotalUJ(r *sim.RunResult, cfg sim.Config, m tech.Model) float64 {
+	leak, dyn := DL1UJ(r, m)
+	total := leak + dyn
+	if Buffered(cfg) {
+		bits := cfg.BufferBits
+		if bits <= 0 {
+			bits = 2048
+		}
+		total += BufferUJ(r, bits)
+	}
+	return total
+}

@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"fmt"
-
 	"sttdl1/internal/compile"
 	"sttdl1/internal/core"
-	"sttdl1/internal/cpu"
+	"sttdl1/internal/dse"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
 )
@@ -14,87 +12,59 @@ import (
 // sensitivity of the proposal to the NVM array's bank count, to the
 // STT-MRAM read-latency assumption, to the core's store-buffer depth,
 // and to the VWB replacement policy and write asymmetry.
+//
+// The 1-D sweeps are defined once, as internal/dse spaces — the same
+// definitions `sttexplore dse` explores with objectives and a Pareto
+// frontier — and rendered here as the classic penalty figures: one
+// series per enumerated design point, measured against the point's own
+// baseline (same compile options, same core).
+
+// spaceFigure renders a dse space as a penalty figure: one series per
+// enumerated point, in enumeration order, labeled with the point label.
+func (s *Suite) spaceFigure(sp dse.Space, id, title string, notes ...string) (stats.Figure, error) {
+	pts := sp.Enumerate()
+	series := make([]stats.Series, len(pts))
+	for i, pt := range pts {
+		pen, err := s.penaltySeries(sp.BaselineFor(pt.Config), pt.Config)
+		if err != nil {
+			return stats.Figure{}, err
+		}
+		series[i] = stats.Series{Label: pt.Label, Values: pen}
+	}
+	return stats.Figure{
+		ID:      id,
+		Title:   title,
+		Metric:  "Performance Penalty (%)",
+		Benches: s.benchNames(),
+		Series:  series,
+		Notes:   notes,
+	}.WithAverage(), nil
+}
 
 // AblationBanks sweeps the banked NVM array: 1..8 banks. With one bank
 // every promotion conflicts with every concurrent access (paper §IV's
 // stall scenario); more banks decouple them.
 func (s *Suite) AblationBanks() (stats.Figure, error) {
-	base := withOpts(sim.BaselineSRAM(), allOpts())
-	banks := []int{1, 2, 4, 8}
-	series := make([]stats.Series, len(banks))
-	for i, nb := range banks {
-		cfg := withOpts(sim.ProposalVWB(), allOpts())
-		cfg.DL1Banks = nb
-		pen, err := s.penaltySeries(base, cfg)
-		if err != nil {
-			return stats.Figure{}, err
-		}
-		series[i] = stats.Series{Label: fmt.Sprintf("%d bank(s)", nb), Values: pen}
-	}
-	return stats.Figure{
-		ID:      "ablation-banks",
-		Title:   "Proposal penalty vs NVM array bank count (promotion-conflict sensitivity)",
-		Metric:  "Performance Penalty (%)",
-		Benches: s.benchNames(),
-		Series:  series,
-	}.WithAverage(), nil
+	return s.spaceFigure(dse.AblationBanks(),
+		"ablation-banks",
+		"Proposal penalty vs NVM array bank count (promotion-conflict sensitivity)")
 }
 
 // AblationReadLat sweeps the STT-MRAM read latency from 2x to 6x the
 // SRAM cycle: where does the VWB stop rescuing the drop-in penalty?
 func (s *Suite) AblationReadLat() (stats.Figure, error) {
-	base := sim.BaselineSRAM()
-	var series []stats.Series
-	for _, rl := range []int64{2, 3, 4, 5, 6} {
-		drop := sim.DropInSTT()
-		drop.DL1ReadLat = rl
-		dp, err := s.penaltySeries(base, drop)
-		if err != nil {
-			return stats.Figure{}, err
-		}
-		vwb := sim.ProposalVWB()
-		vwb.DL1ReadLat = rl
-		vp, err := s.penaltySeries(base, vwb)
-		if err != nil {
-			return stats.Figure{}, err
-		}
-		series = append(series,
-			stats.Series{Label: fmt.Sprintf("drop-in, read=%dcy", rl), Values: dp},
-			stats.Series{Label: fmt.Sprintf("VWB, read=%dcy", rl), Values: vp},
-		)
-	}
-	return stats.Figure{
-		ID:      "ablation-readlat",
-		Title:   "Penalty vs STT-MRAM read latency (2x..6x SRAM), drop-in and VWB",
-		Metric:  "Performance Penalty (%)",
-		Benches: s.benchNames(),
-		Series:  series,
-	}.WithAverage(), nil
+	return s.spaceFigure(dse.AblationReadLat(),
+		"ablation-readlat",
+		"Penalty vs STT-MRAM read latency (2x..6x SRAM), drop-in and VWB")
 }
 
 // AblationStoreBuf sweeps the core's store-buffer depth under the NVM
 // DL1's 2-cycle writes — the paper's §III claim that write latency "can
 // still be managed" by buffering.
 func (s *Suite) AblationStoreBuf() (stats.Figure, error) {
-	var series []stats.Series
-	for _, depth := range []int{1, 2, 4, 8} {
-		base := sim.BaselineSRAM()
-		base.CPU = defaultCPUWithSB(depth)
-		cfg := sim.DropInSTT()
-		cfg.CPU = defaultCPUWithSB(depth)
-		pen, err := s.penaltySeries(base, cfg)
-		if err != nil {
-			return stats.Figure{}, err
-		}
-		series = append(series, stats.Series{Label: fmt.Sprintf("store buffer depth %d", depth), Values: pen})
-	}
-	return stats.Figure{
-		ID:      "ablation-storebuf",
-		Title:   "Drop-in penalty vs core store-buffer depth (write-latency mitigation)",
-		Metric:  "Performance Penalty (%)",
-		Benches: s.benchNames(),
-		Series:  series,
-	}.WithAverage(), nil
+	return s.spaceFigure(dse.AblationStoreBuf(),
+		"ablation-storebuf",
+		"Drop-in penalty vs core store-buffer depth (write-latency mitigation)")
 }
 
 // AblationVWBPolicy compares LRU against FIFO row replacement.
@@ -125,33 +95,10 @@ func (s *Suite) AblationVWBPolicy() (stats.Figure, error) {
 // times writes. We sweep the DL1 write latency 1..4 cycles on the
 // drop-in configuration.
 func (s *Suite) AblationWriteAsym() (stats.Figure, error) {
-	base := sim.BaselineSRAM()
-	var series []stats.Series
-	for _, wl := range []int64{1, 2, 3, 4} {
-		cfg := sim.DropInSTT()
-		cfg.DL1WriteLat = wl
-		pen, err := s.penaltySeries(base, cfg)
-		if err != nil {
-			return stats.Figure{}, err
-		}
-		series = append(series, stats.Series{Label: fmt.Sprintf("write=%dcy", wl), Values: pen})
-	}
-	return stats.Figure{
-		ID:      "ablation-writeasym",
-		Title:   "Drop-in penalty vs DL1 write latency (AWARE-style asymmetric-write sweep)",
-		Metric:  "Performance Penalty (%)",
-		Benches: s.benchNames(),
-		Series:  series,
-		Notes: []string{
-			"read latency dominates at every point — the paper's §III conclusion",
-		},
-	}.WithAverage(), nil
-}
-
-func defaultCPUWithSB(depth int) cpu.Config {
-	cfg := cpu.DefaultConfig()
-	cfg.StoreBufDepth = depth
-	return cfg
+	return s.spaceFigure(dse.AblationWriteAsym(),
+		"ablation-writeasym",
+		"Drop-in penalty vs DL1 write latency (AWARE-style asymmetric-write sweep)",
+		"read latency dominates at every point — the paper's §III conclusion")
 }
 
 // AblationInterchange evaluates the loop-interchange extension — the

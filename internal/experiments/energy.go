@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"sttdl1/internal/energy"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
 	"sttdl1/internal/tech"
@@ -10,36 +11,11 @@ import (
 
 // The paper's conclusion defers the energy story: "the use of NVMs also
 // allows gains in area and even energy (power models have yet to be
-// fully developed though)". This file develops exactly that model: DL1
-// energy = leakage power x runtime + per-access dynamic energy from the
-// technology model, accumulated over the simulated access streams.
-//
-// At 1 GHz the arithmetic is friendly: 1 mW x 1 cycle = 1 pJ.
-
-// dl1Energy computes the DL1 energy (in µJ) of one run.
-func dl1Energy(r *sim.RunResult, m tech.Model) (leakUJ, dynUJ float64) {
-	cycles := float64(r.CPU.Cycles)
-	leakPJ := m.LeakageMW * cycles // mW x ns = pJ
-
-	// Every array access activates a row: reads, fills and the read half
-	// of a miss pay ReadPJ; writes and received writebacks pay WritePJ.
-	st := r.DL1Stats
-	readOps := float64(st.Reads + st.Prefetches)
-	writeOps := float64(st.Writes + st.WriteBacks)
-	// Misses additionally write the incoming line into the array.
-	writeOps += float64(st.Misses())
-	dynPJ := readOps*m.ReadPJ + writeOps*m.WritePJ
-
-	return leakPJ / 1e6, dynPJ / 1e6
-}
-
-// vwbEnergyUJ approximates the buffer's own dynamic energy: register-file
-// rows close to logic at a fraction of an SRAM access.
-func vwbEnergyUJ(r *sim.RunResult) float64 {
-	const rowAccessPJ = 0.9 // 512-bit register row + MUX
-	ops := float64(r.FEStats.Accesses() + r.FEStats.Prefetches)
-	return ops * rowAccessPJ / 1e6
-}
+// fully developed though)". The model that develops it — DL1 energy =
+// leakage power x runtime + per-access dynamic energy from the
+// technology model, accumulated over the simulated access streams —
+// lives in internal/energy, shared with the design-space exploration
+// engine (internal/dse).
 
 // EnergyTable compares DL1 energy across the three headline
 // configurations, averaged over the suite — the analysis the paper
@@ -47,24 +23,22 @@ func vwbEnergyUJ(r *sim.RunResult) float64 {
 // total; the STT-MRAM array's near-zero cell leakage more than pays for
 // its costlier writes; the VWB's filtering removes most array reads.
 func (s *Suite) EnergyTable() (stats.Table, error) {
-	sramModel, err := tech.Compute(tech.DefaultArray(tech.SRAM6T))
-	if err != nil {
-		return stats.Table{}, err
-	}
-	sttModel, err := tech.Compute(tech.DefaultArray(tech.STT2T2MTJ))
-	if err != nil {
-		return stats.Table{}, err
-	}
-
 	type row struct {
 		cfg   sim.Config
 		model tech.Model
 		isVWB bool
 	}
 	rows := []row{
-		{sim.BaselineSRAM(), sramModel, false},
-		{sim.DropInSTT(), sttModel, false},
-		{sim.ProposalVWB(), sttModel, true},
+		{cfg: sim.BaselineSRAM()},
+		{cfg: sim.DropInSTT()},
+		{cfg: sim.ProposalVWB(), isVWB: true},
+	}
+	for i := range rows {
+		m, err := energy.ModelFor(rows[i].cfg)
+		if err != nil {
+			return stats.Table{}, err
+		}
+		rows[i].model = m
 	}
 	if err := s.Prefetch(s.Benches, sim.BaselineSRAM(), sim.DropInSTT(), sim.ProposalVWB()); err != nil {
 		return stats.Table{}, err
@@ -83,11 +57,11 @@ func (s *Suite) EnergyTable() (stats.Table, error) {
 			if err != nil {
 				return stats.Table{}, err
 			}
-			l, d := dl1Energy(res, rw.model)
+			l, d := energy.DL1UJ(res, rw.model)
 			leak += l
 			dyn += d
 			if rw.isVWB {
-				buf += vwbEnergyUJ(res)
+				buf += energy.BufferUJ(res, rw.cfg.BufferBits)
 			}
 		}
 		n := float64(len(s.Benches))

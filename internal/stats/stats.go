@@ -152,6 +152,21 @@ type Table struct {
 	Notes   []string
 }
 
+// Head returns a copy of t keeping only the first n rows (columns and
+// notes intact); n <= 0 or n >= len(rows) returns t unchanged. A note
+// records how many rows were dropped, so truncated tables are never
+// mistaken for complete ones.
+func (t Table) Head(n int) Table {
+	if n <= 0 || n >= len(t.Rows) {
+		return t
+	}
+	out := t
+	out.Rows = t.Rows[:n]
+	out.Notes = append(append([]string{}, t.Notes...),
+		fmt.Sprintf("showing %d of %d rows", n, len(t.Rows)))
+	return out
+}
+
 // Render draws the table with aligned columns.
 func (t Table) Render() string {
 	var b strings.Builder

@@ -136,6 +136,30 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+func TestTableHead(t *testing.T) {
+	tb := Table{
+		Columns: []string{"p", "v"},
+		Rows:    [][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}},
+		Notes:   []string{"orig"},
+	}
+	h := tb.Head(2)
+	if len(h.Rows) != 2 || h.Rows[1][0] != "b" {
+		t.Errorf("Head(2) rows = %v", h.Rows)
+	}
+	if len(h.Notes) != 2 || h.Notes[1] != "showing 2 of 3 rows" {
+		t.Errorf("Head(2) notes = %v", h.Notes)
+	}
+	if len(tb.Notes) != 1 || len(tb.Rows) != 3 {
+		t.Error("Head mutated the original table")
+	}
+	for _, n := range []int{0, -1, 3, 10} {
+		h := tb.Head(n)
+		if len(h.Rows) != 3 || len(h.Notes) != 1 {
+			t.Errorf("Head(%d) should be a no-op, got %d rows %d notes", n, len(h.Rows), len(h.Notes))
+		}
+	}
+}
+
 func TestFigureCSV(t *testing.T) {
 	f := Figure{
 		Benches: []string{"a", "b"},

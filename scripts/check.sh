@@ -1,9 +1,11 @@
 #!/bin/sh
 # Tier-1 verify flow: build, vet, test, then the full suite again under
 # the race detector (the experiment engine is concurrent; see
-# DESIGN.md §7.1), and finally a checked end-to-end run: a small slice of
-# the Fig. 3 matrix with the timing-contract oracle (DESIGN.md §7.2)
-# verifying every memory access. Run from the repository root.
+# DESIGN.md §7.1), and finally checked end-to-end runs with the
+# timing-contract oracle (DESIGN.md §7.2) verifying every memory
+# access: a small slice of the Fig. 3 matrix, and the smoke design
+# space through the exploration engine (DESIGN.md §7.3). Run from the
+# repository root.
 set -eux
 
 go build ./...
@@ -11,3 +13,4 @@ go vet ./...
 go test ./...
 go test -race ./...
 go run ./cmd/sttexplore run -check -bench atax,gemver fig3 >/dev/null
+go run ./cmd/sttexplore dse -check -space smoke -bench atax,gemver >/dev/null
