@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"testing"
 
+	"sttdl1/internal/dse"
 	"sttdl1/internal/experiments"
 	"sttdl1/internal/polybench"
 	"sttdl1/internal/sim"
@@ -240,6 +241,66 @@ func BenchmarkSuiteParallel(b *testing.B) {
 		jobs = 4
 	}
 	runSuiteMatrix(b, jobs)
+}
+
+// benchLiveVsReplay runs the Fig. 3 matrix (3 configurations × 8
+// kernels) on a fresh suite per iteration with the given execution mode.
+// Replay captures each kernel's functional stream once and re-runs only
+// the timing model per configuration (DESIGN.md §7.4); the results are
+// byte-identical either way, so the ns/op ratio of the two sub-benchmarks
+// is the replay engine's speedup on this matrix.
+func benchLiveVsReplay(b *testing.B, replay bool) {
+	benches := suiteMatrixBenches()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuiteJobs(benches, 8)
+		s.SetReplay(replay)
+		if err := s.Prefetch(benches, sim.BaselineSRAM(), sim.DropInSTT(), sim.ProposalVWB()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveVsReplay regenerates the replay engine's speedup:
+//
+//	go test -bench LiveVsReplay -benchtime 3x
+//
+// and compare the live and replay ns/op.
+func BenchmarkLiveVsReplay(b *testing.B) {
+	b.Run("live", func(b *testing.B) { benchLiveVsReplay(b, false) })
+	b.Run("replay", func(b *testing.B) { benchLiveVsReplay(b, true) })
+}
+
+// BenchmarkDSEProposalSweep is the ISSUE's headline workload — the full
+// 240-point proposal design space over the whole PolyBench suite,
+// equivalent to `sttexplore dse -space proposal -j 8` — in both
+// execution modes. One iteration runs the entire sweep (minutes); use
+// -benchtime 1x. The evaluation itself is identical in both modes (the
+// Pareto frontier is compared against the dse package's own tests), so
+// the two ns/op values measure exactly the live/replay wall-clock ratio
+// the tentpole targets.
+func BenchmarkDSEProposalSweep(b *testing.B) {
+	sp, ok := dse.ByName("proposal")
+	if !ok {
+		b.Fatal("proposal space not registered")
+	}
+	run := func(b *testing.B, replay bool) {
+		for i := 0; i < b.N; i++ {
+			s := experiments.NewSuiteJobs(polybench.All(), 8)
+			s.SetReplay(replay)
+			ev, err := dse.Evaluate(s, polybench.All(), sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ev.Points) == 0 {
+				b.Fatal("empty evaluation")
+			}
+		}
+	}
+	b.Run("live", func(b *testing.B) { run(b, false) })
+	b.Run("replay", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated

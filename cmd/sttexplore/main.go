@@ -5,9 +5,12 @@
 // Usage:
 //
 //	sttexplore list
-//	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] <id>|all|paper
-//	sttexplore dse [-space name] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check]
-//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] <kernel>
+//	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
+//	sttexplore dse [-space name] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
+//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
+//
+// All three commands take -cpuprofile/-memprofile to write pprof
+// profiles (see EXPERIMENTS.md "Profiling").
 //
 // Examples:
 //
@@ -28,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +41,7 @@ import (
 	"sttdl1/internal/energy"
 	"sttdl1/internal/experiments"
 	"sttdl1/internal/polybench"
+	"sttdl1/internal/replay"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
 )
@@ -71,9 +77,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sttexplore list
-  sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] <id>|all|paper
-  sttexplore dse [-space name] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check]
-  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] <kernel>
+  sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
+  sttexplore dse [-space name] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
+  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
 
 run flags:
   -j N    run up to N simulations in parallel (0 = GOMAXPROCS);
@@ -83,6 +89,12 @@ run flags:
   -check  verify the timing contract (causality, clock monotonicity,
           shadow-state agreement) on every access; results unchanged,
           any violation fails the run
+  -replay on|off
+          trace replay (default on): functionally execute each kernel
+          once, re-run only the timing model per configuration; results
+          are byte-identical to live execution
+  -cpuprofile/-memprofile FILE
+          write pprof profiles (all commands)
 
 dse flags:
   -space  built-in design space to explore (default smoke; see
@@ -95,6 +107,64 @@ bench flags:
   -opt    apply all code transformations
   -n      problem size override (0 = benchmark default)
   -v      also print the configuration's technology model`)
+}
+
+// profileFlags registers the shared pprof flags (-cpuprofile,
+// -memprofile) on a command's flag set and returns a start function
+// whose stop must run before the process exits (see EXPERIMENTS.md
+// "Profiling").
+func profileFlags(fs *flag.FlagSet) func() (stop func() error, err error) {
+	cpuOut := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memOut := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	return func() (func() error, error) {
+		var cpuFile *os.File
+		if *cpuOut != "" {
+			f, err := os.Create(*cpuOut)
+			if err != nil {
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			cpuFile = f
+		}
+		return func() error {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					return err
+				}
+			}
+			if *memOut != "" {
+				f, err := os.Create(*memOut)
+				if err != nil {
+					return fmt.Errorf("memprofile: %w", err)
+				}
+				defer f.Close()
+				runtime.GC() // up-to-date allocation stats
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+					return fmt.Errorf("memprofile: %w", err)
+				}
+			}
+			return nil
+		}, nil
+	}
+}
+
+// replayFlag registers -replay on a command's flag set and returns a
+// parser for its on/off value.
+func replayFlag(fs *flag.FlagSet) func() (bool, error) {
+	mode := fs.String("replay", "on", "trace replay: capture each kernel's instruction stream once, re-run only the timing model per design point (on/off; results are byte-identical either way)")
+	return func() (bool, error) {
+		switch *mode {
+		case "on":
+			return true, nil
+		case "off":
+			return false, nil
+		}
+		return false, fmt.Errorf("-replay must be on or off (got %q)", *mode)
+	}
 }
 
 func cmdList() error {
@@ -124,12 +194,27 @@ func cmdRun(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
 	checked := fs.Bool("check", false, "run every simulation under the timing-contract oracle")
+	replayMode := replayFlag(fs)
+	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run: need exactly one experiment id (or 'all'/'paper'); see 'sttexplore list'")
 	}
+	useReplay, err := replayMode()
+	if err != nil {
+		return err
+	}
+	stopProfile, err := profile()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil {
+			fmt.Fprintln(os.Stderr, "sttexplore:", perr)
+		}
+	}()
 
 	benches, err := selectBenches(*benchList)
 	if err != nil {
@@ -137,6 +222,7 @@ func cmdRun(args []string) error {
 	}
 	suite := experiments.NewSuiteJobs(benches, *jobs)
 	suite.SetCheck(*checked)
+	suite.SetReplay(useReplay)
 	var counters stats.Counters
 	progress := newProgressLine(os.Stderr, *verbose)
 	suite.SetProgress(func(ev stats.RunEvent) {
@@ -196,12 +282,27 @@ func cmdDse(args []string) error {
 	top := fs.Int("top", 0, "keep only the N lowest-penalty frontier rows (0 = all)")
 	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
 	checked := fs.Bool("check", false, "run every simulation under the timing-contract oracle")
+	replayMode := replayFlag(fs)
+	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("dse: unexpected argument %q (the space is selected with -space)", fs.Arg(0))
 	}
+	useReplay, err := replayMode()
+	if err != nil {
+		return err
+	}
+	stopProfile, err := profile()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil {
+			fmt.Fprintln(os.Stderr, "sttexplore:", perr)
+		}
+	}()
 	sp, ok := dse.ByName(*spaceName)
 	if !ok {
 		return fmt.Errorf("unknown design space %q; known: %s", *spaceName, strings.Join(dse.Names(), ", "))
@@ -213,6 +314,7 @@ func cmdDse(args []string) error {
 
 	suite := experiments.NewSuiteJobs(benches, *jobs)
 	suite.SetCheck(*checked)
+	suite.SetReplay(useReplay)
 	var counters stats.Counters
 	progress := newProgressLine(os.Stderr, *verbose)
 	suite.SetProgress(func(ev stats.RunEvent) {
@@ -291,12 +393,27 @@ func cmdBench(args []string) error {
 	size := fs.Int("n", 0, "problem size override (0 = benchmark default)")
 	verbose := fs.Bool("v", false, "also print the configuration's technology model")
 	checked := fs.Bool("check", false, "run under the timing-contract oracle")
+	replayMode := replayFlag(fs)
+	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("bench: need exactly one kernel name; see 'sttexplore list'")
 	}
+	useReplay, err := replayMode()
+	if err != nil {
+		return err
+	}
+	stopProfile, err := profile()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil {
+			fmt.Fprintln(os.Stderr, "sttexplore:", perr)
+		}
+	}()
 	b, ok := polybench.ByName(fs.Arg(0))
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q; known: %s", fs.Arg(0), strings.Join(polybench.Names(), ", "))
@@ -330,7 +447,13 @@ func cmdBench(args []string) error {
 	if *size > 0 {
 		n = *size
 	}
-	res, err := sim.Run(b.Build(n), cfg)
+	var res *sim.RunResult
+	if useReplay {
+		b.Default = n // Kernel() and the trace-cache key follow the size
+		res, err = replay.Run(context.Background(), replay.NewCache(), b, cfg)
+	} else {
+		res, err = sim.Run(b.Build(n), cfg)
+	}
 	if err != nil {
 		return err
 	}

@@ -107,6 +107,11 @@ type buffer struct {
 	// An evicted line becomes prefetchable again once the window passes.
 	pfRecent []pfEntry
 	pfHead   int
+
+	// lastHit is an MRU probe hint: access streams are line-local, so
+	// find checks the previous hit's slot before scanning. Purely an
+	// optimization — never consulted for replacement decisions.
+	lastHit int
 }
 
 type pfEntry struct {
@@ -148,8 +153,12 @@ func (b *buffer) prefetchFiltered(now int64, lineAddr mem.Addr) bool {
 }
 
 func (b *buffer) find(lineAddr mem.Addr) *entry {
+	if e := &b.entries[b.lastHit]; e.valid && e.lineAddr == lineAddr {
+		return e
+	}
 	for i := range b.entries {
 		if b.entries[i].valid && b.entries[i].lineAddr == lineAddr {
+			b.lastHit = i
 			return &b.entries[i]
 		}
 	}
@@ -225,6 +234,7 @@ func (b *buffer) reset() {
 	b.pfHead = 0
 	b.useClock = 0
 	b.fifoNext = 0
+	b.lastHit = 0
 }
 
 // lines returns the number of entries (for tests).

@@ -144,9 +144,12 @@ func (c *CPU) RunState(prog *isa.Program, st *State) (*Result, error) {
 		maxDone    int64 // completion horizon
 		drainTail  int64 // store buffer drains in order
 	)
-	sbuf := make([]int64, cfg.StoreBufDepth) // retire time per slot
+	// The store buffer and load queue are stack-backed at realistic
+	// depths; only unusually deep configurations fall back to the heap.
+	var sbufArr, lqArr [16]int64
+	sbuf := queueSlots(sbufArr[:], cfg.StoreBufDepth) // retire time per slot
 	sbHead := 0
-	lq := make([]int64, cfg.LoadQueueDepth) // completion time per slot
+	lq := queueSlots(lqArr[:], cfg.LoadQueueDepth) // completion time per slot
 	lqHead := 0
 
 	for !st.Halted {
@@ -350,6 +353,15 @@ func (c *CPU) RunState(prog *isa.Program, st *State) (*Result, error) {
 // latencyOf gives the execute latency of each opcode class (cycles).
 // Functional units are fully pipelined except the dividers, which the
 // run loop serializes via divFree.
+// queueSlots returns a zeroed queue of depth n, using the stack-backed
+// scratch when it fits.
+func queueSlots(scratch []int64, n int) []int64 {
+	if n <= len(scratch) {
+		return scratch[:n]
+	}
+	return make([]int64, n)
+}
+
 func latencyOf(op isa.Opcode) int64 {
 	switch op {
 	case isa.OpMUL, isa.OpMULI:

@@ -1,0 +1,599 @@
+// Execution-trace capture and timing replay (DESIGN.md §7.4).
+//
+// The timing core is in-order: the retired instruction stream, every
+// effective address, and every branch direction are produced by the
+// functional interpreter alone and never depend on cache latencies,
+// buffer occupancy, or any other timing state. A Trace therefore records
+// one functional execution — per retired instruction: the PC, the
+// effective address of memory ops, and whether a branch redirected
+// control flow — and ReplayTrace re-runs the *full* timing model (fetch
+// through the IL1, operand scoreboarding, store buffer, load queue,
+// branch prediction, mispredict refill, every DL1/L2/DRAM access)
+// against any CPU/hierarchy configuration by consuming the trace instead
+// of stepping the interpreter. Replay is contractually byte-identical to
+// RunState: same Cycles, same stall counters, same hierarchy stats.
+//
+// Replay is also substantially cheaper per instruction than live
+// execution: the functional step disappears, and everything static per
+// PC — operand register-file indexes, latency class, memory class,
+// branch class — is pre-decoded once per program into a flat table,
+// while the branch predictor's outcome stream (which depends only on the
+// PC/direction stream and the table size) is precomputed once per trace
+// and shared by every configuration replaying it.
+package cpu
+
+import (
+	"fmt"
+	"sync"
+
+	"sttdl1/internal/cache"
+	"sttdl1/internal/isa"
+	"sttdl1/internal/mem"
+)
+
+// Trace is the retired-instruction stream of one functional execution.
+// PCs, Addrs and Taken are parallel: record i retired the instruction at
+// PCs[i], accessed byte address Addrs[i] if it was a memory op, and
+// redirected control flow iff bit i of Taken is set. A Trace is
+// immutable after construction and safe for concurrent replay.
+type Trace struct {
+	// PCs is the program-counter stream (indexes into prog.Insts).
+	PCs []int32
+	// Addrs is the effective byte address per record (0 for non-memory
+	// instructions).
+	Addrs []uint32
+	// Taken is a bitset over records: bit i set means record i redirected
+	// control flow (taken branch, call, indirect jump).
+	Taken []uint64
+	// Final is the architectural state after the run. It is shared by
+	// every replay Result consuming this trace and must not be mutated.
+	// Traces rebuilt from a serialized stream carry no final state (nil).
+	Final *State
+
+	dec []decoded
+	// counts are the trace's configuration-invariant retirement statistics
+	// (instruction/class counts), computed once so replay does not
+	// re-count per design point.
+	counts traceCounts
+
+	mu      sync.Mutex
+	mispred map[int]mispredSet // bpred table size -> mispredict bitset
+}
+
+// traceCounts are the Result counters that depend only on the retired
+// stream, never on timing configuration.
+type traceCounts struct {
+	loads, stores, prefetches uint64
+	vecLoads, vecStores       uint64
+	branches                  uint64
+}
+
+// mispredSet is the sorted list of record indexes the predictor gets
+// wrong (its length is the trace's mispredict total for that predictor
+// size). A sparse list beats a bitset in replay: the loop compares the
+// running index against one register instead of probing a bit per record.
+type mispredSet struct {
+	idx []int32
+}
+
+// Len returns the number of retired instructions in the trace.
+func (t *Trace) Len() int { return len(t.PCs) }
+
+// TakenAt reports whether record i redirected control flow.
+func (t *Trace) TakenAt(i int) bool { return t.Taken[i>>6]&(1<<uint(i&63)) != 0 }
+
+// decoded is the per-PC static portion of the timing model: everything
+// RunState derives from the instruction word each time it retires.
+//
+// Absent operands are resolved to dummy register-file slots instead of a
+// -1 sentinel so the replay loop indexes unconditionally: srcDummy is a
+// read-only slot pinned at ready 0 / ALU producer (never the readiness
+// maximum that matters, never load-attributed), and dstDummy is a
+// write-only sink no source index ever reads.
+// decoded is the static decode of one instruction, packed to 8 bytes so
+// the decode table stays dense in the replay loop's cache working set
+// (every field provably fits: latencies are <= 16 cycles, the register
+// file has 82 slots, and accesses are at most a vector line wide).
+type decoded struct {
+	lat         uint8
+	srcA, srcB  uint8 // register-file indexes (srcDummy when absent)
+	srcD, dst   uint8 // read-modify-write source / writeback destination
+	accessBytes uint8
+	mem         uint8 // 0 none, 'l' load, 's' store, 'p' prefetch
+	flags       uint8
+}
+
+// Replay register-file geometry: the architectural slots, plus the two
+// dummy slots decoded operands use for "absent".
+const (
+	replayRegs = isa.NumIntRegs + isa.NumFPRegs + isa.NumVecRegs
+	srcDummy   = replayRegs
+	dstDummy   = replayRegs + 1
+)
+
+const (
+	dfDiv    uint8 = 1 << iota // serializes on the unpipelined divider
+	dfVec                      // vector op (VecLoads/VecStores accounting)
+	dfCondBr                   // conditional branch (2-bit predictor)
+	dfJR                       // indirect jump (always mispredicts)
+	dfBranch                   // counted in Result.Branches (excludes HALT)
+)
+
+// decodeProg flattens the static decode of every instruction.
+func decodeProg(prog *isa.Program) []decoded {
+	ridx := func(class isa.RegClass, r isa.Reg) uint8 {
+		if class == isa.RCNone || (class == isa.RCInt && r == isa.ZR) {
+			return srcDummy
+		}
+		return uint8(regIdx(class, r))
+	}
+	dec := make([]decoded, len(prog.Insts))
+	for pc, in := range prog.Insts {
+		info := in.Op.Info()
+		d := decoded{
+			lat:         uint8(latencyOf(in.Op)),
+			srcA:        ridx(info.SrcAClass, in.Ra),
+			srcB:        ridx(info.SrcBClass, in.Rb),
+			srcD:        srcDummy,
+			dst:         dstDummy,
+			accessBytes: uint8(info.AccessBytes),
+			mem:         info.Mem,
+		}
+		if info.DstIsSrc {
+			d.srcD = ridx(info.DstClass, in.Rd)
+		}
+		if info.DstClass != isa.RCNone && info.Mem != 's' {
+			if i := ridx(info.DstClass, in.Rd); i != srcDummy {
+				d.dst = i
+			}
+		}
+		switch in.Op {
+		case isa.OpDIV, isa.OpREM, isa.OpFDIV, isa.OpVDIV:
+			d.flags |= dfDiv
+		}
+		if in.Op.IsVector() {
+			d.flags |= dfVec
+		}
+		if in.Op.IsBranch() && in.Op != isa.OpHALT {
+			d.flags |= dfBranch
+			if in.Op.IsCondBranch() {
+				d.flags |= dfCondBr
+			} else if in.Op == isa.OpJR {
+				d.flags |= dfJR
+			}
+		}
+		dec[pc] = d
+	}
+	return dec
+}
+
+// countTrace tallies the configuration-invariant retirement statistics of
+// a PC stream.
+func countTrace(pcs []int32, dec []decoded) traceCounts {
+	var tc traceCounts
+	for _, pc := range pcs {
+		d := &dec[pc]
+		switch d.mem {
+		case 'l':
+			tc.loads++
+			if d.flags&dfVec != 0 {
+				tc.vecLoads++
+			}
+		case 's':
+			tc.stores++
+			if d.flags&dfVec != 0 {
+				tc.vecStores++
+			}
+		case 'p':
+			tc.prefetches++
+		}
+		if d.flags&dfBranch != 0 {
+			tc.branches++
+		}
+	}
+	return tc
+}
+
+// Capture executes prog functionally (no timing) from st until HALT and
+// records the retired-instruction stream. The trace is independent of
+// any timing configuration: it can be replayed against every hierarchy
+// and core variant. maxInsts 0 means the DefaultConfig budget.
+func Capture(prog *isa.Program, st *State, maxInsts uint64) (*Trace, error) {
+	if maxInsts == 0 {
+		maxInsts = DefaultConfig().MaxInsts
+	}
+	// Records are collected in fixed-size chunks and assembled into
+	// exact-size slices once at HALT: traces run to millions of records,
+	// where append's growth factor both churns multi-megabyte copies and
+	// strands up to a quarter of the final capacity in the long-lived
+	// trace cache.
+	const chunkRecs = 1 << 16
+	type chunk struct {
+		pcs   [chunkRecs]int32
+		addrs [chunkRecs]uint32
+		taken [chunkRecs / 64]uint64
+	}
+	var chunks []*chunk
+	var cur *chunk
+	fill := chunkRecs // records in the current chunk (full = rotate)
+	var n uint64
+	for !st.Halted {
+		if n >= maxInsts {
+			return nil, st.fault(st.PC, isa.Inst{}, "instruction budget %d exhausted (runaway loop?)", maxInsts)
+		}
+		pc := st.PC
+		info, err := st.Step(prog)
+		if err != nil {
+			return nil, err
+		}
+		if fill == chunkRecs {
+			cur = new(chunk)
+			chunks = append(chunks, cur)
+			fill = 0
+		}
+		cur.pcs[fill] = int32(pc)
+		cur.addrs[fill] = info.Addr
+		if info.Taken {
+			cur.taken[fill>>6] |= 1 << uint(fill&63)
+		}
+		fill++
+		n++
+	}
+	t := &Trace{
+		PCs:   make([]int32, n),
+		Addrs: make([]uint32, n),
+		Taken: make([]uint64, (n+63)/64),
+	}
+	for ci, c := range chunks {
+		base := ci * chunkRecs
+		m := copy(t.PCs[base:], c.pcs[:])
+		copy(t.Addrs[base:], c.addrs[:m])
+		copy(t.Taken[base/64:], c.taken[:(m+63)/64])
+	}
+	t.Final = st
+	t.dec = decodeProg(prog)
+	t.counts = countTrace(t.PCs, t.dec)
+	return t, nil
+}
+
+// NewTrace rebuilds a replayable trace from its raw streams (the decode
+// side of a serialized trace). Every PC must fall inside prog; the
+// rebuilt trace has no Final state.
+func NewTrace(prog *isa.Program, pcs []int32, addrs []uint32, taken []uint64) (*Trace, error) {
+	if len(pcs) != len(addrs) {
+		return nil, fmt.Errorf("cpu: trace streams disagree: %d PCs, %d addrs", len(pcs), len(addrs))
+	}
+	if want := (len(pcs) + 63) / 64; len(taken) < want {
+		return nil, fmt.Errorf("cpu: taken bitset too short: %d words < %d", len(taken), want)
+	}
+	for i, pc := range pcs {
+		if pc < 0 || int(pc) >= len(prog.Insts) {
+			return nil, fmt.Errorf("cpu: trace record %d: pc %d outside program (0..%d)", i, pc, len(prog.Insts)-1)
+		}
+	}
+	dec := decodeProg(prog)
+	return &Trace{PCs: pcs, Addrs: addrs, Taken: taken, dec: dec, counts: countTrace(pcs, dec)}, nil
+}
+
+// mispredicts returns (computing and memoizing on first use) the
+// mispredict bitset for a predictor table of the given size: bit i set
+// means record i is a branch the 2-bit predictor gets wrong, or an
+// indirect jump. The stream depends only on the trace and the table
+// size — never on cache or core timing — so every configuration
+// replaying this trace shares it.
+func (t *Trace) mispredicts(entries int) mispredSet {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		entries = 512
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ms, ok := t.mispred[entries]; ok {
+		return ms
+	}
+	pred := newBpred(entries)
+	var idx []int32
+	for i, pc := range t.PCs {
+		d := &t.dec[pc]
+		if d.flags&dfCondBr != 0 {
+			taken := t.TakenAt(i)
+			if pred.predict(int(pc)) != taken {
+				idx = append(idx, int32(i))
+			}
+			pred.update(int(pc), taken)
+		} else if d.flags&dfJR != 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	ms := mispredSet{idx: idx}
+	if t.mispred == nil {
+		t.mispred = map[int]mispredSet{}
+	}
+	t.mispred[entries] = ms
+	return ms
+}
+
+// ReplayTrace re-runs the timing model over a captured trace. It is the
+// timing half of RunState with the functional interpreter replaced by
+// the trace: cycles, every stall counter, and every memory access
+// presented to IMem/DMem are byte-identical to a live run of the same
+// program under the same configuration (enforced by
+// TestReplayMatchesLive* and the Fig. 3 equivalence matrix).
+//
+// The returned Result shares the trace's Final architectural state; it
+// must be treated as read-only.
+func (c *CPU) ReplayTrace(prog *isa.Program, tr *Trace) (*Result, error) {
+	cfg := c.Cfg
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 2
+	}
+	if cfg.StoreBufDepth <= 0 {
+		cfg.StoreBufDepth = 4
+	}
+	if cfg.LoadQueueDepth <= 0 {
+		cfg.LoadQueueDepth = 2
+	}
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = 2_000_000_000
+	}
+	dec, tc := tr.dec, tr.counts
+	if dec == nil {
+		dec = decodeProg(prog)
+		tc = countTrace(tr.PCs, dec)
+	}
+	mp := tr.mispredicts(cfg.BpredEntries)
+	mpIdx := mp.idx
+	nextMp, mpK := -1, 0
+	if len(mpIdx) > 0 {
+		nextMp = int(mpIdx[0])
+	}
+
+	res := &Result{State: tr.Final}
+	// The replay register file: architectural slots plus the two dummy
+	// slots (srcDummy stays zero/ALU forever; dstDummy is a sink).
+	var ready [replayRegs + 2]int64
+	var prodv [replayRegs + 2]uint8
+	var (
+		lastIssue  int64
+		slotsUsed  int
+		fetchLast  int64
+		fetchSlots int
+		redirectAt int64
+		divFree    int64
+		maxDone    int64
+		drainTail  int64
+		// Stall accumulators stay in registers across the loop and are
+		// folded into res once at the end.
+		fetchStall int64
+		readStall  int64
+		writeStall int64
+	)
+	var sbufArr, lqArr [16]int64
+	sbuf := queueSlots(sbufArr[:], cfg.StoreBufDepth)
+	sbHead := 0
+	lq := queueSlots(lqArr[:], cfg.LoadQueueDepth)
+	lqHead := 0
+
+	imem, dmem := c.IMem, c.DMem
+	codeBase := mem.Addr(cfg.CodeBase)
+	penalty := cfg.MispredictPenalty
+
+	// Fetch fast path: when the instruction side is a bare cache (no
+	// oracle wrapper, no front-end buffer), fetches are served through an
+	// open cache.FetchStream — the per-fetch arithmetic (bank busy chain,
+	// conflict cycles, hit-under-fill cap) happens inline here on the
+	// stream's exported state, and the batched counter updates flush
+	// exactly once when the stream closes: at a fetch miss (which must go
+	// through the generic path) and at the end of the replay. See
+	// cache.FetchStream for the exactness argument.
+	il1, fastFetch := imem.(*cache.Cache)
+	var fs cache.FetchStream
+	var il1Shift uint
+	if fastFetch {
+		fs.Init(il1)
+		il1Shift = il1.LineShift()
+	}
+
+	pcs, addrs := tr.PCs, tr.Addrs
+	n := len(pcs)
+	budgeted := uint64(n) > cfg.MaxInsts
+	if budgeted {
+		n = int(cfg.MaxInsts)
+	}
+	for i := 0; i < n; i++ {
+		pc := int(pcs[i])
+		d := &dec[pc]
+
+		// Instruction fetch through the IL1 (same slotting as RunState).
+		fetchAt := fetchLast
+		if redirectAt > fetchAt {
+			fetchAt = redirectAt
+		}
+		if fetchAt > fetchLast {
+			fetchLast = fetchAt
+			fetchSlots = 1
+		} else {
+			fetchSlots++
+			if fetchSlots > cfg.IssueWidth {
+				fetchLast++
+				fetchAt = fetchLast
+				fetchSlots = 1
+			}
+		}
+		fetchAddr := codeBase + mem.Addr(pc)*isa.InstBytes
+		var fetchDone int64
+		if fastFetch {
+			if line := fetchAddr >> il1Shift; line == fs.CurLine || fs.Switch(line) {
+				start := fetchAt
+				if bf := *fs.CurBankFree; bf > start {
+					fs.Conflicts += bf - start
+					start = bf
+				}
+				fetchDone = start + fs.Lat
+				*fs.CurBankFree = start + fs.Ival
+				fs.Seq++
+				if fetchDone < fs.CurReady {
+					fs.HUF += fs.CurReady - fetchDone
+					fetchDone = fs.CurReady
+				}
+			} else {
+				// Fetch miss: Switch closed the stream, so the generic
+				// access (which installs the line) sees consistent state.
+				fetchDone = imem.Access(fetchAt, mem.Req{Addr: fetchAddr, Bytes: isa.InstBytes, Kind: mem.Fetch})
+			}
+		} else {
+			fetchDone = imem.Access(fetchAt, mem.Req{Addr: fetchAddr, Bytes: isa.InstBytes, Kind: mem.Fetch})
+		}
+
+		base := fetchDone
+		if redirectAt > base {
+			base = redirectAt
+		}
+		if fetchDone > lastIssue+1 {
+			fetchStall += fetchDone - (lastIssue + 1)
+		}
+
+		// Operand readiness over the pre-resolved register indexes
+		// (dummy slots make the reads unconditional). Load attribution
+		// (RunState's opndLoad, with its OR-on-tie rule) is equivalent to
+		// "some register whose readiness equals the maximum was produced
+		// by a load", so it is only computed on the rare stalling path
+		// instead of being threaded through every max step; the dummy
+		// source is pinned at ready 0 / ALU and never misattributes.
+		opnd := ready[d.srcA]
+		if r := ready[d.srcB]; r > opnd {
+			opnd = r
+		}
+		if r := ready[d.srcD]; r > opnd {
+			opnd = r
+		}
+
+		issue := base
+		if opnd > issue {
+			if (ready[d.srcA] == opnd && prodv[d.srcA] == prodLoad) ||
+				(ready[d.srcB] == opnd && prodv[d.srcB] == prodLoad) ||
+				(ready[d.srcD] == opnd && prodv[d.srcD] == prodLoad) {
+				readStall += opnd - issue
+			}
+			issue = opnd
+		}
+		if d.flags&dfDiv != 0 && divFree > issue {
+			issue = divFree
+		}
+		if m := d.mem; m != 0 {
+			if m == 's' {
+				if slot := sbuf[sbHead]; slot > issue {
+					writeStall += slot - issue
+					issue = slot
+				}
+			} else if m == 'l' {
+				if slot := lq[lqHead]; slot > issue {
+					readStall += slot - issue
+					issue = slot
+				}
+			}
+		}
+
+		if issue < lastIssue {
+			issue = lastIssue
+		}
+		if issue == lastIssue {
+			if slotsUsed >= cfg.IssueWidth {
+				issue++
+				slotsUsed = 1
+			} else {
+				slotsUsed++
+			}
+		} else {
+			slotsUsed = 1
+		}
+		lastIssue = issue
+
+		// Class counters (Insts, Loads, Branches, Mispredicts, ...) are
+		// configuration-invariant trace properties; they are filled in
+		// once after the loop instead of being counted per record.
+		done := issue + int64(d.lat)
+		prod := prodALU
+		if d.mem != 0 {
+			switch d.mem {
+			case 'l':
+				done = dmem.Access(issue+1, mem.Req{Addr: mem.Addr(addrs[i]), Bytes: int(d.accessBytes), Kind: mem.Read})
+				prod = prodLoad
+				lq[lqHead] = done
+				if lqHead++; lqHead == cfg.LoadQueueDepth {
+					lqHead = 0
+				}
+			case 's':
+				start := issue + 1
+				if drainTail > start {
+					start = drainTail
+				}
+				retire := dmem.Access(start, mem.Req{Addr: mem.Addr(addrs[i]), Bytes: int(d.accessBytes), Kind: mem.Write})
+				drainTail = retire
+				sbuf[sbHead] = retire
+				if sbHead++; sbHead == cfg.StoreBufDepth {
+					sbHead = 0
+				}
+				done = issue + 1
+			case 'p':
+				dmem.Access(issue+1, mem.Req{Addr: mem.Addr(addrs[i]), Bytes: int(d.accessBytes), Kind: mem.Prefetch})
+				done = issue + 1
+			}
+		}
+
+		if d.flags&dfDiv != 0 {
+			divFree = done
+		}
+
+		// Only mispredicted branches redirect; the sparse index list names
+		// exactly those records, so no branch-class test is needed here.
+		if i == nextMp {
+			redirectAt = issue + 1 + penalty
+			nextMp = -1
+			if mpK++; mpK < len(mpIdx) {
+				nextMp = int(mpIdx[mpK])
+			}
+		}
+
+		ready[d.dst] = done
+		prodv[d.dst] = prod
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	fs.Close()
+	res.FetchStallCycles = fetchStall
+	res.ReadStallCycles = readStall
+	res.WriteStallCycles = writeStall
+
+	if budgeted {
+		// The partial result mirrors a live run's state at the fault:
+		// counters over the n records that did retire.
+		tc = countTrace(pcs[:n], dec)
+		res.Insts = uint64(n)
+		res.Loads, res.Stores, res.Prefetches = tc.loads, tc.stores, tc.prefetches
+		res.VecLoads, res.VecStores = tc.vecLoads, tc.vecStores
+		res.Branches = tc.branches
+		var mc uint64
+		for _, ix := range mpIdx {
+			if int(ix) >= n {
+				break
+			}
+			mc++
+		}
+		res.Mispredicts = mc
+		res.BranchStallCycles = int64(mc) * penalty
+		return res, &Fault{PC: int(pcs[n]), Msg: fmt.Sprintf("instruction budget %d exhausted (runaway loop?)", cfg.MaxInsts)}
+	}
+
+	res.Insts = uint64(n)
+	res.Loads, res.Stores, res.Prefetches = tc.loads, tc.stores, tc.prefetches
+	res.VecLoads, res.VecStores = tc.vecLoads, tc.vecStores
+	res.Branches = tc.branches
+	res.Mispredicts = uint64(len(mpIdx))
+	res.BranchStallCycles = int64(len(mpIdx)) * penalty
+	if drainTail > maxDone {
+		maxDone = drainTail
+	}
+	res.Cycles = maxDone
+	return res, nil
+}

@@ -8,9 +8,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"sttdl1/internal/compile"
 	"sttdl1/internal/polybench"
+	"sttdl1/internal/replay"
 	"sttdl1/internal/runner"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
@@ -33,6 +36,14 @@ type Suite struct {
 	// check runs every simulation under the internal/check timing
 	// oracle (sim.Config.Check); a contract violation fails the run.
 	check bool
+	// replay executes simulations by trace replay (capture the
+	// functional stream once per kernel variant, re-run only the timing
+	// model per design point; DESIGN.md §7.4), falling back to live
+	// execution if the replay path fails. On by default; results are
+	// byte-identical either way, so the memo key does not include it.
+	replay bool
+	// traces is the shared compile+capture cache behind replay mode.
+	traces *replay.Cache
 }
 
 // NewSuite builds a suite over the given benchmarks (nil = all) with the
@@ -51,6 +62,8 @@ func NewSuiteJobs(benches []polybench.Bench, jobs int) *Suite {
 		Benches: benches,
 		pool:    runner.New[string, *sim.RunResult](jobs),
 		ctx:     context.Background(),
+		replay:  true,
+		traces:  replay.NewCache(),
 	}
 }
 
@@ -66,6 +79,27 @@ func (s *Suite) SetProgress(fn stats.ProgressFunc) { s.pool.SetProgress(fn) }
 // unchecked runs are memoized separately; install it before running
 // experiments.
 func (s *Suite) SetCheck(on bool) { s.check = on }
+
+// SetReplay turns trace replay on or off (the sttexplore -replay flag;
+// on by default). Replay and live execution produce byte-identical
+// results — replay is purely a performance mode — so flipping it never
+// changes figures, and memoized results are shared across modes. Install
+// it before running experiments.
+func (s *Suite) SetReplay(on bool) { s.replay = on }
+
+// execute performs one simulation: trace replay when enabled, with live
+// execution as the fallback on any replay-path error that is not the
+// caller's own cancellation (a functional fault reproduces identically
+// either way, so the fallback's error message is the canonical one).
+func (s *Suite) execute(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
+	if s.replay {
+		r, err := replay.Run(ctx, s.traces, b, cfg)
+		if err == nil || ctx.Err() != nil {
+			return r, err
+		}
+	}
+	return sim.Run(b.Kernel(), cfg)
+}
 
 // applyCheck folds the suite's checking mode into a run configuration.
 func (s *Suite) applyCheck(cfg sim.Config) sim.Config {
@@ -88,19 +122,77 @@ func (s *Suite) WithContext(ctx context.Context) *Suite {
 	return &c
 }
 
-// optKey folds compile options into a cache key.
+// optKey folds compile options into a cache key. Keys are built with
+// strconv appends rather than fmt — runKey sits on every memoized run
+// lookup, and Sprintf's interface boxing dominated the engine's
+// allocation count.
 func optKey(o compile.Options) string {
-	return fmt.Sprintf("v%t_p%t_b%t_a%t_i%t_s%d", o.Vectorize, o.Prefetch, o.Branchless, o.Align, o.Interchange, o.PrefetchStreams)
+	var b strings.Builder
+	b.Grow(32)
+	appendOptKey(&b, o)
+	return b.String()
+}
+
+func appendOptKey(b *strings.Builder, o compile.Options) {
+	b.WriteByte('v')
+	b.WriteString(strconv.FormatBool(o.Vectorize))
+	b.WriteString("_p")
+	b.WriteString(strconv.FormatBool(o.Prefetch))
+	b.WriteString("_b")
+	b.WriteString(strconv.FormatBool(o.Branchless))
+	b.WriteString("_a")
+	b.WriteString(strconv.FormatBool(o.Align))
+	b.WriteString("_i")
+	b.WriteString(strconv.FormatBool(o.Interchange))
+	b.WriteString("_s")
+	b.WriteString(strconv.Itoa(o.PrefetchStreams))
+}
+
+func appendCfgKey(b *strings.Builder, c sim.Config) {
+	b.WriteString(c.DL1Cell.String())
+	b.WriteByte('_')
+	b.WriteString(c.FrontEnd.String())
+	b.WriteString("_buf")
+	b.WriteString(strconv.Itoa(c.BufferBits))
+	b.WriteString("_bank")
+	b.WriteString(strconv.Itoa(c.DL1Banks))
+	b.WriteString("_rl")
+	b.WriteString(strconv.FormatInt(c.DL1ReadLat, 10))
+	b.WriteString("_wl")
+	b.WriteString(strconv.FormatInt(c.DL1WriteLat, 10))
+	b.WriteString("_pol")
+	b.WriteString(c.VWBPolicy.String())
+	b.WriteString("_tc")
+	b.WriteString(strconv.FormatInt(c.VWBTransfer, 10))
+	b.WriteString("_il1")
+	b.WriteString(c.IL1Cell.String())
+	b.WriteByte('_')
+	b.WriteString(c.IL1FrontEnd.String())
+	b.WriteString("_cold")
+	b.WriteString(strconv.FormatBool(c.ColdStart))
+	b.WriteString("_sb")
+	b.WriteString(strconv.Itoa(c.CPU.StoreBufDepth))
+	b.WriteString("_chk")
+	b.WriteString(strconv.FormatBool(c.Check))
+	b.WriteByte('_')
+	appendOptKey(b, c.Compile)
 }
 
 func cfgKey(c sim.Config) string {
-	return fmt.Sprintf("%v_%v_buf%d_bank%d_rl%d_wl%d_pol%v_tc%d_il1%v_%v_cold%t_sb%d_chk%t_%s",
-		c.DL1Cell, c.FrontEnd, c.BufferBits, c.DL1Banks, c.DL1ReadLat, c.DL1WriteLat,
-		c.VWBPolicy, c.VWBTransfer, c.IL1Cell, c.IL1FrontEnd, c.ColdStart,
-		c.CPU.StoreBufDepth, c.Check, optKey(c.Compile))
+	var b strings.Builder
+	b.Grow(96)
+	appendCfgKey(&b, c)
+	return b.String()
 }
 
-func runKey(b polybench.Bench, cfg sim.Config) string { return b.Name + "|" + cfgKey(cfg) }
+func runKey(b polybench.Bench, cfg sim.Config) string {
+	var sb strings.Builder
+	sb.Grow(96 + len(b.Name))
+	sb.WriteString(b.Name)
+	sb.WriteByte('|')
+	appendCfgKey(&sb, cfg)
+	return sb.String()
+}
 
 func runLabel(b polybench.Bench, cfg sim.Config) string {
 	return fmt.Sprintf("%s on %s/%s", b.Name, cfg.Name, optKey(cfg.Compile))
@@ -117,8 +209,8 @@ func (s *Suite) Run(b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
 func (s *Suite) RunContext(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
 	cfg = s.applyCheck(cfg)
 	r, err := s.pool.DoLabeled(ctx, runKey(b, cfg), runLabel(b, cfg),
-		func(context.Context) (*sim.RunResult, error) {
-			return sim.Run(b.Kernel(), cfg)
+		func(ctx context.Context) (*sim.RunResult, error) {
+			return s.execute(ctx, b, cfg)
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Name, err)
@@ -166,8 +258,8 @@ func (s *Suite) PrefetchSpecs(specs []Spec) error {
 		tasks[i] = runner.Task[string, *sim.RunResult]{
 			Key:   runKey(sp.Bench, sp.Config),
 			Label: runLabel(sp.Bench, sp.Config),
-			Run: func(context.Context) (*sim.RunResult, error) {
-				return sim.Run(sp.Bench.Kernel(), sp.Config)
+			Run: func(ctx context.Context) (*sim.RunResult, error) {
+				return s.execute(ctx, sp.Bench, sp.Config)
 			},
 		}
 	}

@@ -1,0 +1,114 @@
+// Trace serialization: a compact varint stream so captured executions
+// can be stored and replayed across processes. PCs and addresses are
+// delta-encoded (zigzag) — the retired stream is overwhelmingly
+// sequential PCs and strided addresses, so deltas keep most records to
+// two or three bytes.
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/isa"
+)
+
+// traceMagic guards the stream format; bump the trailing digit on any
+// incompatible change.
+const traceMagic = "sttrace1"
+
+// Encode writes tr to w in the versioned varint format Decode reads.
+func Encode(w io.Writer, tr *cpu.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(tr.Len())); err != nil {
+		return err
+	}
+	var prevPC int32
+	for _, pc := range tr.PCs {
+		if err := putVarint(int64(pc - prevPC)); err != nil {
+			return err
+		}
+		prevPC = pc
+	}
+	var prevAddr uint32
+	for _, a := range tr.Addrs {
+		if err := putVarint(int64(int32(a - prevAddr))); err != nil {
+			return err
+		}
+		prevAddr = a
+	}
+	for _, word := range tr.Taken {
+		if err := putUvarint(word); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace in Encode's format and validates it against prog
+// (every PC must fall inside the program). The decoded trace carries no
+// final architectural state; it is replay-only.
+func Decode(r io.Reader, prog *isa.Program) (*cpu.Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("replay: reading trace header: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("replay: bad trace magic %q (want %q)", magic, traceMagic)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("replay: reading trace length: %w", err)
+	}
+	const maxLen = 1 << 32
+	if n64 > maxLen {
+		return nil, fmt.Errorf("replay: implausible trace length %d", n64)
+	}
+	n := int(n64)
+	pcs := make([]int32, n)
+	var prevPC int32
+	for i := range pcs {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("replay: reading pc %d: %w", i, err)
+		}
+		prevPC += int32(d)
+		pcs[i] = prevPC
+	}
+	addrs := make([]uint32, n)
+	var prevAddr uint32
+	for i := range addrs {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("replay: reading addr %d: %w", i, err)
+		}
+		prevAddr += uint32(int32(d))
+		addrs[i] = prevAddr
+	}
+	taken := make([]uint64, (n+63)/64)
+	for i := range taken {
+		w, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("replay: reading taken word %d: %w", i, err)
+		}
+		taken[i] = w
+	}
+	return cpu.NewTrace(prog, pcs, addrs, taken)
+}

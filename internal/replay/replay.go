@@ -1,0 +1,89 @@
+// Package replay runs simulations trace-first: each kernel is compiled
+// and functionally executed exactly once per (benchmark, problem size,
+// compile options), and every design point then re-runs only the timing
+// model over the captured retired-instruction stream (cpu.Trace,
+// DESIGN.md §7.4). Compile results and traces are memoized through the
+// same singleflight engine as simulation results (internal/runner), so
+// at any -j the workers sweeping a design space share one capture per
+// kernel variant.
+package replay
+
+import (
+	"context"
+	"fmt"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/runner"
+	"sttdl1/internal/sim"
+)
+
+// traced pairs a compiled kernel with its captured execution trace.
+type traced struct {
+	ck *compile.Compiled
+	tr *cpu.Trace
+}
+
+// Cache memoizes compiled kernels and their execution traces. Keys cover
+// everything the functional execution depends on — benchmark, problem
+// size, compile options — and deliberately nothing the timing model
+// depends on: the whole point is that one trace serves every cache and
+// core configuration. Safe for concurrent use.
+type Cache struct {
+	pool *runner.Pool[string, traced]
+}
+
+// NewCache builds an empty trace cache. Captures fan out over up to
+// GOMAXPROCS goroutines; callers nested inside another runner.Pool are
+// fine because capture tasks never wait on the caller's pool.
+func NewCache() *Cache {
+	return &Cache{pool: runner.New[string, traced](0)}
+}
+
+// key identifies one functional execution. The problem size must be in
+// the key (not just the benchmark name) because tests rebind
+// Bench.Default; the compile options must be in the key because every
+// transformation changes the instruction stream.
+func key(b polybench.Bench, opts compile.Options) string {
+	return fmt.Sprintf("%s@%d|v%t_p%t_b%t_a%t_i%t_s%d_l%d", b.Name, b.Default,
+		opts.Vectorize, opts.Prefetch, opts.Branchless, opts.Align,
+		opts.Interchange, opts.PrefetchStreams, opts.LineSize)
+}
+
+// Trace returns the compiled kernel and captured trace for b under opts,
+// compiling and capturing on first use and memoizing forever. Concurrent
+// requests for the same kernel variant share one capture.
+func (c *Cache) Trace(ctx context.Context, b polybench.Bench, opts compile.Options) (*compile.Compiled, *cpu.Trace, error) {
+	t, err := c.pool.DoLabeled(ctx, key(b, opts), "capture "+b.Name,
+		func(context.Context) (traced, error) {
+			ck, err := compile.Compile(b.Kernel(), opts)
+			if err != nil {
+				return traced{}, err
+			}
+			tr, err := sim.CaptureTrace(ck)
+			if err != nil {
+				return traced{}, err
+			}
+			return traced{ck: ck, tr: tr}, nil
+		})
+	if err != nil {
+		return nil, nil, fmt.Errorf("replay: %s: %w", b.Name, err)
+	}
+	return t.ck, t.tr, nil
+}
+
+// Run executes bench b under cfg by timing replay: the (memoized)
+// compile + capture, then a fresh system replaying the trace. The result
+// is byte-identical to sim.Run for the same inputs.
+func Run(ctx context.Context, c *Cache, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
+	ck, tr, err := c.Trace(ctx, b, sim.CompileOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.ReplayCompiled(ck, tr)
+}

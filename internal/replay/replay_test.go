@@ -1,0 +1,215 @@
+// Replay/live equivalence regression suite (DESIGN.md §7.4): trace
+// replay is a pure performance mode, so every number a simulation
+// produces — cycles, each stall counter, every per-level cache
+// statistic — must be identical to live execution, not merely close.
+// These tests pin that contract over the full Fig. 3 configuration
+// matrix, the smoke design space, worker-count determinism, and the
+// serialized trace format.
+package replay_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/dse"
+	"sttdl1/internal/experiments"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/replay"
+	"sttdl1/internal/sim"
+)
+
+// matrixConfigs is the full Fig. 3 configuration matrix: the SRAM
+// baseline, the drop-in STT-MRAM cache, and the VWB proposal — each
+// with the untransformed and the fully transformed code.
+func matrixConfigs() []sim.Config {
+	var out []sim.Config
+	for _, mk := range []func() sim.Config{sim.BaselineSRAM, sim.DropInSTT, sim.ProposalVWB} {
+		plain := mk()
+		out = append(out, plain)
+		opt := mk()
+		opt.Compile = compile.AllOptimizations()
+		out = append(out, opt)
+	}
+	return out
+}
+
+// matrixBenches returns the benchmark set for the matrix test: the whole
+// suite, trimmed under -short.
+func matrixBenches(t *testing.T) []polybench.Bench {
+	all := polybench.All()
+	if testing.Short() {
+		return all[:4]
+	}
+	return all
+}
+
+// mustEqualResults fails the test unless the two runs agree on every
+// number: the complete CPU result (cycles, instruction-class counters,
+// all four stall counters) and each memory level's statistics. The final
+// architectural state is excluded — replay deliberately reuses the
+// capture's state object.
+func mustEqualResults(t *testing.T, label string, live, rep *sim.RunResult) {
+	t.Helper()
+	lc, rc := *live.CPU, *rep.CPU
+	lc.State, rc.State = nil, nil
+	if lc != rc {
+		t.Errorf("%s: CPU result diverged:\nlive   %+v\nreplay %+v", label, lc, rc)
+	}
+	if live.FEStats != rep.FEStats {
+		t.Errorf("%s: front-end stats diverged:\nlive   %+v\nreplay %+v", label, live.FEStats, rep.FEStats)
+	}
+	if live.DL1Stats != rep.DL1Stats {
+		t.Errorf("%s: DL1 stats diverged:\nlive   %+v\nreplay %+v", label, live.DL1Stats, rep.DL1Stats)
+	}
+	if live.L2Stats != rep.L2Stats {
+		t.Errorf("%s: L2 stats diverged:\nlive   %+v\nreplay %+v", label, live.L2Stats, rep.L2Stats)
+	}
+	if live.IL1Stats != rep.IL1Stats {
+		t.Errorf("%s: IL1 stats diverged:\nlive   %+v\nreplay %+v", label, live.IL1Stats, rep.IL1Stats)
+	}
+	if live.DL1BankConflictCycles != rep.DL1BankConflictCycles {
+		t.Errorf("%s: DL1 bank conflict cycles diverged: live %d, replay %d",
+			label, live.DL1BankConflictCycles, rep.DL1BankConflictCycles)
+	}
+}
+
+// TestReplayMatchesLiveFig3Matrix replays every benchmark under the full
+// Fig. 3 configuration matrix and demands exact equality with live
+// execution on every counter.
+func TestReplayMatchesLiveFig3Matrix(t *testing.T) {
+	traces := replay.NewCache()
+	ctx := context.Background()
+	for _, cfg := range matrixConfigs() {
+		for _, b := range matrixBenches(t) {
+			live, err := sim.Run(b.Kernel(), cfg)
+			if err != nil {
+				t.Fatalf("live %s on %s: %v", b.Name, cfg.Name, err)
+			}
+			rep, err := replay.Run(ctx, traces, b, cfg)
+			if err != nil {
+				t.Fatalf("replay %s on %s: %v", b.Name, cfg.Name, err)
+			}
+			mustEqualResults(t, b.Name+" on "+cfg.Name, live, rep)
+		}
+	}
+}
+
+// smokeBenches is the design-space slice used by the smoke-space tests
+// (the same slice scripts/check.sh exercises).
+func smokeBenches(t *testing.T) []polybench.Bench {
+	var out []polybench.Bench
+	for _, name := range []string{"atax", "gemver"} {
+		b, ok := polybench.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// smokeEval evaluates the smoke space with the given execution mode and
+// worker count.
+func smokeEval(t *testing.T, replayMode bool, jobs int) *dse.Evaluation {
+	t.Helper()
+	sp, ok := dse.ByName("smoke")
+	if !ok {
+		t.Fatal("smoke space not registered")
+	}
+	benches := smokeBenches(t)
+	s := experiments.NewSuiteJobs(benches, jobs)
+	s.SetReplay(replayMode)
+	ev, err := dse.Evaluate(s, benches, sp)
+	if err != nil {
+		t.Fatalf("evaluate smoke (replay=%t, jobs=%d): %v", replayMode, jobs, err)
+	}
+	return ev
+}
+
+// TestSmokeSpaceReplayMatchesLive runs the smoke design space in both
+// execution modes and demands identical evaluations: every point's
+// objectives, ranks and ordering.
+func TestSmokeSpaceReplayMatchesLive(t *testing.T) {
+	live := smokeEval(t, false, 1)
+	rep := smokeEval(t, true, 1)
+	// The Space itself holds axis-apply closures (func values never
+	// compare equal); the evaluation's substance is Benches + Points.
+	if !reflect.DeepEqual(live.Benches, rep.Benches) || !reflect.DeepEqual(live.Points, rep.Points) {
+		t.Errorf("smoke evaluation diverged between live and replay:\nlive   %+v\nreplay %+v", live.Points, rep.Points)
+	}
+}
+
+// TestReplayDeterministicAcrossWorkers pins the engine's determinism
+// contract in replay mode: the smoke evaluation is identical at any
+// worker count.
+func TestReplayDeterministicAcrossWorkers(t *testing.T) {
+	serial := smokeEval(t, true, 1)
+	parallel := smokeEval(t, true, 8)
+	if !reflect.DeepEqual(serial.Benches, parallel.Benches) || !reflect.DeepEqual(serial.Points, parallel.Points) {
+		t.Errorf("replay evaluation differs between -j 1 and -j 8:\nserial   %+v\nparallel %+v", serial.Points, parallel.Points)
+	}
+}
+
+// TestTraceEncodeDecodeRoundTrip serializes a captured trace, decodes it
+// back, and verifies both that the streams survive exactly and that the
+// decoded trace replays to the same result as the original.
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("unknown benchmark atax")
+	}
+	cfg := sim.ProposalVWB()
+	ck, err := compile.Compile(b.Kernel(), sim.CompileOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.CaptureTrace(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := replay.Encode(&buf, tr); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := replay.Decode(&buf, ck.Prog)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(tr.PCs, decoded.PCs) {
+		t.Error("PC stream did not survive the round trip")
+	}
+	if !reflect.DeepEqual(tr.Addrs, decoded.Addrs) {
+		t.Error("address stream did not survive the round trip")
+	}
+	for i := range tr.PCs {
+		if tr.TakenAt(i) != decoded.TakenAt(i) {
+			t.Fatalf("taken bit %d did not survive the round trip", i)
+		}
+	}
+
+	// The decoded trace must drive the timing model to the same result.
+	for _, mkCfg := range []func() sim.Config{sim.BaselineSRAM, sim.ProposalVWB} {
+		cfg := mkCfg()
+		sysA, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := sysA.ReplayCompiled(ck, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysB, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := sysB.ReplayCompiled(ck, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, "round-trip on "+cfg.Name, orig, rt)
+	}
+}

@@ -338,15 +338,76 @@ func (s *System) runOnce(ck *compile.Compiled) (*RunResult, error) {
 	}, nil
 }
 
-// Run compiles k with the configuration's options (line size forced to
-// the DL1 line) and executes it on a freshly assembled system.
-func Run(k *ir.Kernel, cfg Config) (*RunResult, error) {
-	cfg = cfg.withDefaults()
+// CaptureTrace functionally executes a compiled kernel once (no timing)
+// and records its retired-instruction stream. Because the core is
+// in-order and every pass starts from an identically initialized data
+// segment, the same trace replays both the warm-up and the measured
+// pass of any configuration (DESIGN.md §7.4).
+func CaptureTrace(ck *compile.Compiled) (*cpu.Trace, error) {
+	st := cpu.NewState(ck.Prog)
+	if err := ir.InitData(ck.Kernel, st.Mem); err != nil {
+		return nil, err
+	}
+	tr, err := cpu.Capture(ck.Prog, st, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sim: capture %s: %w", ck.Prog.Name, err)
+	}
+	return tr, nil
+}
+
+// ReplayCompiled is RunCompiled with the functional interpreter replaced
+// by a captured trace: warm-up replay (unless ColdStart), timing reset,
+// measured replay. The result is byte-identical to RunCompiled for the
+// same kernel and configuration.
+func (s *System) ReplayCompiled(ck *compile.Compiled, tr *cpu.Trace) (*RunResult, error) {
+	if !s.Cfg.ColdStart {
+		if _, err := s.replayOnce(ck, tr); err != nil {
+			return nil, err
+		}
+		s.ResetTiming()
+	}
+	return s.replayOnce(ck, tr)
+}
+
+// replayOnce replays one timing pass over the trace.
+func (s *System) replayOnce(ck *compile.Compiled, tr *cpu.Trace) (*RunResult, error) {
+	res, err := s.CPU.ReplayTrace(ck.Prog, tr)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+	}
+	if err := s.CheckErr(); err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+	}
+	return &RunResult{
+		Config:                s.Cfg,
+		Bench:                 ck.Prog.Name,
+		CPU:                   res,
+		FEStats:               s.FE.Stats(),
+		DL1Stats:              s.DL1.Stats(),
+		L2Stats:               s.L2.Stats(),
+		IL1Stats:              s.IL1.Stats(),
+		DL1BankConflictCycles: s.DL1.BankConflictCycles,
+	}, nil
+}
+
+// CompileOptions is the configuration's compile options with the
+// simulator's defaulting applied (line size forced to the prefetch /
+// alignment granule). Anything compiling kernels on a configuration's
+// behalf — Run here, the replay trace cache — must use this so the
+// compiled program is identical either way.
+func CompileOptions(cfg Config) compile.Options {
 	opts := cfg.Compile
 	if opts.LineSize == 0 {
 		opts.LineSize = 64 // prefetch/alignment granule: the larger line
 	}
-	ck, err := compile.Compile(k, opts)
+	return opts
+}
+
+// Run compiles k with the configuration's options (line size forced to
+// the DL1 line) and executes it on a freshly assembled system.
+func Run(k *ir.Kernel, cfg Config) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	ck, err := compile.Compile(k, CompileOptions(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -13,4 +13,13 @@ go vet ./...
 go test ./...
 go test -race ./...
 go run ./cmd/sttexplore run -check -bench atax,gemver fig3 >/dev/null
-go run ./cmd/sttexplore dse -check -space smoke -bench atax,gemver >/dev/null
+
+# Replay equivalence (DESIGN.md §7.4): the checked smoke space must
+# render byte-identically whether simulations execute live or replay a
+# captured trace.
+tmp_on=$(mktemp)
+tmp_off=$(mktemp)
+trap 'rm -f "$tmp_on" "$tmp_off"' EXIT
+go run ./cmd/sttexplore dse -check -space smoke -bench atax,gemver -replay on >"$tmp_on"
+go run ./cmd/sttexplore dse -check -space smoke -bench atax,gemver -replay off >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
