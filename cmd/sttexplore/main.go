@@ -6,7 +6,7 @@
 //
 //	sttexplore list
 //	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
-//	sttexplore dse [-space name] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
+//	sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
 //	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
 //
 // All three commands take -cpuprofile/-memprofile to write pprof
@@ -19,6 +19,8 @@
 //	sttexplore run -j 8 all      # paper artifacts + ablations, 8 workers
 //	sttexplore dse -space smoke  # fast design-space sweep + Pareto frontier
 //	sttexplore dse -space proposal -csv   # full ~240-point space, CSV dump
+//	sttexplore dse -space mega -search guided -budget 64 -seed 1
+//	                             # metaheuristic search over ~144k points
 //	sttexplore bench -cfg vwb -opt gemm
 //
 // Simulations fan out over -j workers (default GOMAXPROCS); figures and
@@ -78,7 +80,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sttexplore list
   sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
-  sttexplore dse [-space name] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
+  sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
   sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
 
 run flags:
@@ -99,6 +101,14 @@ run flags:
 dse flags:
   -space  built-in design space to explore (default smoke; see
           'sttexplore list')
+  -search exhaustive (default) evaluates every point; guided runs the
+          frontier-guided metaheuristic (mutation/crossover of the
+          Pareto archive + annealed random exploration, a truncated-
+          replay cheap rung, early-abort full evaluations) — the only
+          way through the ~144k-point mega space
+  -budget guided: full-suite evaluation budget (default 64)
+  -seed   guided: proposal RNG seed (default 1); equal seeds give
+          bit-identical output at any -j
   -top N  keep only the N lowest-penalty rows of the frontier table
   -csv    dump every evaluated point (objectives, dominance rank) as CSV
   -j/-v/-bench/-check as for run
@@ -178,7 +188,9 @@ func cmdList() error {
 	}
 	fmt.Println("\ndesign spaces (sttexplore dse -space <name>):")
 	for _, sp := range dse.Spaces() {
-		fmt.Printf("  %-20s %4d point(s)  %s\n", sp.Name, len(sp.Enumerate()), sp.Desc)
+		// CountUpTo sizes the space without materializing it — the mega
+		// space holds >10^5 points.
+		fmt.Printf("  %-20s %6d point(s)  %s\n", sp.Name, sp.CountUpTo(0), sp.Desc)
 	}
 	fmt.Println("\nbenchmarks:")
 	for _, b := range polybench.All() {
@@ -281,6 +293,9 @@ func cmdDse(args []string) error {
 	csv := fs.Bool("csv", false, "dump every evaluated point as CSV instead of the frontier table")
 	top := fs.Int("top", 0, "keep only the N lowest-penalty frontier rows (0 = all)")
 	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
+	searchMode := fs.String("search", "exhaustive", "exploration strategy: exhaustive, or guided (frontier-guided metaheuristic with a full-evaluation budget)")
+	budget := fs.Int("budget", 64, "guided search: full-suite evaluation budget")
+	seed := fs.Int64("seed", 1, "guided search: proposal RNG seed (printed in the report header)")
 	checked := fs.Bool("check", false, "run every simulation under the timing-contract oracle")
 	replayMode := replayFlag(fs)
 	profile := profileFlags(fs)
@@ -323,15 +338,42 @@ func cmdDse(args []string) error {
 	})
 
 	start := time.Now()
-	ev, err := dse.Evaluate(suite, benches, sp)
-	progress.clear()
-	if err != nil {
-		return err
-	}
-	if *csv {
-		fmt.Printf("# dse-%s\n%s\n", sp.Name, ev.PointsTable().CSV())
-	} else {
-		fmt.Println(ev.FrontierTable(*top).Render())
+	switch *searchMode {
+	case "exhaustive":
+		ev, err := dse.Evaluate(suite, benches, sp)
+		progress.clear()
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Printf("# dse-%s\n%s\n", sp.Name, ev.PointsTable().CSV())
+		} else {
+			fmt.Println(ev.FrontierTable(*top).Render())
+		}
+	case "guided":
+		opts := dse.SearchOptions{Budget: *budget, Seed: *seed}
+		if *verbose {
+			opts.Progress = func(ev stats.SearchEvent) {
+				fmt.Fprintf(os.Stderr, "  gen %-3d %2d candidate(s), %2d promoted, %2d aborted  [%d/%d full evals, archive %d, frontier %d]\n",
+					ev.Generation, ev.Candidates, ev.Promoted, ev.Aborted,
+					ev.FullEvals, ev.Budget, ev.Archive, ev.Frontier)
+			}
+		}
+		res, err := dse.Search(suite, benches, sp, opts)
+		progress.clear()
+		if err != nil {
+			return err
+		}
+		if *csv {
+			// The CSV body carries no table header, so name the inputs —
+			// the effective seed above all — in the comment line.
+			fmt.Printf("# dse-%s guided search: seed %d, budget %d\n%s\n",
+				sp.Name, res.Seed, res.Budget, res.PointsTable().CSV())
+		} else {
+			fmt.Println(res.FrontierTable(*top).Render())
+		}
+	default:
+		return fmt.Errorf("-search must be exhaustive or guided (got %q)", *searchMode)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "engine: %s over %d worker(s), wall %s\n",

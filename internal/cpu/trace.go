@@ -312,6 +312,26 @@ func (t *Trace) mispredicts(entries int) mispredSet {
 	return ms
 }
 
+// ReplayCtl controls a partial timing replay (DESIGN.md §7.5). The
+// zero value (or a nil *ReplayCtl) replays the whole trace.
+type ReplayCtl struct {
+	// MaxRecords truncates the pass to the first MaxRecords trace
+	// records (0 = all) — the cheap "truncated measured replay" rung of
+	// the successive-halving ladder. The partial Result carries the
+	// cycle count, stall counters and retirement statistics of exactly
+	// that prefix.
+	MaxRecords int
+	// CheckEvery is the number of records between Abort probes (0 =
+	// never probe). Probes interrupt the replay loop, so the interval
+	// trades abort latency against per-record overhead.
+	CheckEvery int
+	// Abort, when non-nil, is called every CheckEvery records with the
+	// pass's current cycle lower bound (the final cycle count can only
+	// be larger). Returning true abandons the replay; the partial
+	// Result reflects the records retired so far.
+	Abort func(cyclesSoFar int64) bool
+}
+
 // ReplayTrace re-runs the timing model over a captured trace. It is the
 // timing half of RunState with the functional interpreter replaced by
 // the trace: cycles, every stall counter, and every memory access
@@ -322,6 +342,20 @@ func (t *Trace) mispredicts(entries int) mispredSet {
 // The returned Result shares the trace's Final architectural state; it
 // must be treated as read-only.
 func (c *CPU) ReplayTrace(prog *isa.Program, tr *Trace) (*Result, error) {
+	res, _, err := c.ReplayTraceCtl(prog, tr, nil)
+	return res, err
+}
+
+// ReplayTraceCtl is ReplayTrace under partial-run control: ctl can
+// truncate the pass after a record prefix and/or abort it when a probe
+// decides the run is no longer worth finishing (the early-abort
+// criterion of the guided design-space search). It reports whether the
+// pass was stopped early by an Abort probe; a truncated or aborted
+// Result holds the cycle count, stall counters and retirement
+// statistics of exactly the retired prefix (the prefix cycle count is a
+// lower bound of the full run's). With a nil ctl it is exactly
+// ReplayTrace.
+func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Result, bool, error) {
 	cfg := c.Cfg
 	if cfg.IssueWidth <= 0 {
 		cfg.IssueWidth = 2
@@ -399,6 +433,16 @@ func (c *CPU) ReplayTrace(prog *isa.Program, tr *Trace) (*Result, error) {
 	if budgeted {
 		n = int(cfg.MaxInsts)
 	}
+	truncated := false
+	if ctl != nil && ctl.MaxRecords > 0 && ctl.MaxRecords < n {
+		n = ctl.MaxRecords
+		truncated, budgeted = true, false // the prefix retires within budget
+	}
+	nextProbe := -1 // i+1 of the next Abort probe (-1 = never)
+	if ctl != nil && ctl.Abort != nil && ctl.CheckEvery > 0 {
+		nextProbe = ctl.CheckEvery
+	}
+	aborted := false
 	for i := 0; i < n; i++ {
 		pc := int(pcs[i])
 		d := &dec[pc]
@@ -559,14 +603,24 @@ func (c *CPU) ReplayTrace(prog *isa.Program, tr *Trace) (*Result, error) {
 		if done > maxDone {
 			maxDone = done
 		}
+		// Abort probe: maxDone only grows, so it is a sound lower bound
+		// of the pass's final cycle count at every probe point.
+		if i+1 == nextProbe {
+			if ctl.Abort(maxDone) {
+				aborted = true
+				n = i + 1
+				break
+			}
+			nextProbe += ctl.CheckEvery
+		}
 	}
 	fs.Close()
 	res.FetchStallCycles = fetchStall
 	res.ReadStallCycles = readStall
 	res.WriteStallCycles = writeStall
 
-	if budgeted {
-		// The partial result mirrors a live run's state at the fault:
+	if budgeted || truncated || aborted {
+		// The partial result mirrors a live run's state at the cut:
 		// counters over the n records that did retire.
 		tc = countTrace(pcs[:n], dec)
 		res.Insts = uint64(n)
@@ -582,7 +636,14 @@ func (c *CPU) ReplayTrace(prog *isa.Program, tr *Trace) (*Result, error) {
 		}
 		res.Mispredicts = mc
 		res.BranchStallCycles = int64(mc) * penalty
-		return res, &Fault{PC: int(pcs[n]), Msg: fmt.Sprintf("instruction budget %d exhausted (runaway loop?)", cfg.MaxInsts)}
+		if budgeted {
+			return res, false, &Fault{PC: int(pcs[n]), Msg: fmt.Sprintf("instruction budget %d exhausted (runaway loop?)", cfg.MaxInsts)}
+		}
+		if drainTail > maxDone {
+			maxDone = drainTail
+		}
+		res.Cycles = maxDone
+		return res, aborted, nil
 	}
 
 	res.Insts = uint64(n)
@@ -595,5 +656,5 @@ func (c *CPU) ReplayTrace(prog *isa.Program, tr *Trace) (*Result, error) {
 		maxDone = drainTail
 	}
 	res.Cycles = maxDone
-	return res, nil
+	return res, false, nil
 }

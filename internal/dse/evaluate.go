@@ -163,18 +163,10 @@ func score(eng Engine, benches []polybench.Bench, cfg, base sim.Config) (Objecti
 		pens[i] = stats.Penalty(br.CPU.Cycles, pr.CPU.Cycles)
 		totalUJ += energy.TotalUJ(pr, cfg, model)
 	}
-	area := model.AreaMM2
-	if energy.Buffered(cfg) {
-		bits := cfg.BufferBits
-		if bits <= 0 {
-			bits = 2048
-		}
-		area += energy.BufferAreaMM2(bits)
-	}
 	return Objectives{
 		PenaltyPct: stats.Mean(pens),
 		EnergyUJ:   totalUJ / float64(len(benches)),
-		AreaMM2:    area,
+		AreaMM2:    areaOf(cfg, model),
 	}, nil
 }
 

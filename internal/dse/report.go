@@ -95,6 +95,38 @@ func (e *Evaluation) proposalRank() int {
 	return -1
 }
 
+// searchNote is the guided search's one-line account, shown under both
+// search tables.
+func (r *SearchResult) searchNote() string {
+	if r.Exhaustive {
+		return fmt.Sprintf("guided search: seed %d, budget %d: space fits the budget (%d point(s)), evaluated exhaustively",
+			r.Seed, r.Budget, r.SpacePoints)
+	}
+	return fmt.Sprintf("guided search: seed %d, budget %d: %d full evaluation(s) (%d aborted early), %d rung eval(s), %d generation(s) over a %d-point space",
+		r.Seed, r.Budget, r.FullEvals, r.Aborted, r.RungEvals, r.Generations, r.SpacePoints)
+}
+
+// FrontierTable renders the archive's Pareto frontier with the search
+// parameters — the effective seed above all — in the table header, so
+// any printed report names the inputs that reproduce it.
+func (r *SearchResult) FrontierTable(top int) stats.Table {
+	t := r.Evaluation.FrontierTable(top)
+	t.Title = fmt.Sprintf("Pareto frontier of design space %q — guided search, seed %d, budget %d (minimize penalty, energy, area)",
+		r.Space.Name, r.Seed, r.Budget)
+	t.Notes = append(t.Notes, r.searchNote())
+	return t
+}
+
+// PointsTable renders every archived point with the search parameters
+// in the header.
+func (r *SearchResult) PointsTable() stats.Table {
+	t := r.Evaluation.PointsTable()
+	t.Title = fmt.Sprintf("All archived points of design space %q — guided search, seed %d, budget %d",
+		r.Space.Name, r.Seed, r.Budget)
+	t.Notes = append(t.Notes, r.searchNote())
+	return t
+}
+
 // PointsTable renders every evaluated point in enumeration order with
 // its per-axis settings, objectives and dominance rank — the full dump
 // behind the frontier, CSV-friendly via stats.Table.CSV.

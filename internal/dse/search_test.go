@@ -1,0 +1,468 @@
+// Guided-search verification harness (the ISSUE's search-vs-exhaustive
+// contract): property tests against exhaustive evaluation on small
+// spaces, determinism across worker counts, metamorphic checks on the
+// early-abort replay and the halving rung, and the degenerate-input
+// regressions. External package for the same reason as dse_test.go.
+package dse_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sttdl1/internal/dse"
+	"sttdl1/internal/experiments"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+)
+
+// twoBenches is the fast two-kernel suite the search tests run on
+// (same shrink idiom as TestSmokeEvaluationSanity).
+func twoBenches(t *testing.T) []polybench.Bench {
+	t.Helper()
+	gemm, ok := polybench.ByName("gemm")
+	if !ok {
+		t.Fatal("unknown benchmark gemm")
+	}
+	atax, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("unknown benchmark atax")
+	}
+	gemm.Default, atax.Default = 16, 40
+	return []polybench.Bench{gemm, atax}
+}
+
+// randomSpace builds a small (<= 64 point) unconstrained space around
+// the VWB proposal from a seeded RNG, so the search-vs-exhaustive
+// properties run over spaces nobody hand-tuned the search for.
+func randomSpace(r *rand.Rand, i int) dse.Space {
+	pick := func(pool []int, n int) []int {
+		p := append([]int{}, pool...)
+		r.Shuffle(len(p), func(a, b int) { p[a], p[b] = p[b], p[a] })
+		p = p[:n]
+		sort.Ints(p)
+		return p
+	}
+	var rows, banks, lats []dse.Value
+	for _, b := range pick([]int{1024, 2048, 4096, 8192}, 2+r.Intn(2)) {
+		b := b
+		rows = append(rows, dse.Value{
+			Label: fmt.Sprintf("%dKbit", b/1024),
+			Apply: func(c *sim.Config) { c.BufferBits = b },
+		})
+	}
+	for _, nb := range pick([]int{1, 2, 4, 8}, 2+r.Intn(2)) {
+		nb := nb
+		banks = append(banks, dse.Value{
+			Label: fmt.Sprintf("%dbank", nb),
+			Apply: func(c *sim.Config) { c.DL1Banks = nb },
+		})
+	}
+	for _, rl := range pick([]int{2, 3, 4, 5, 6}, 2+r.Intn(2)) {
+		rl := int64(rl)
+		lats = append(lats, dse.Value{
+			Label: fmt.Sprintf("read=%dcy", rl),
+			Apply: func(c *sim.Config) { c.DL1ReadLat = rl },
+		})
+	}
+	return dse.Space{
+		Name: fmt.Sprintf("rand%d", i),
+		Desc: "randomized search-vs-exhaustive property space",
+		Base: sim.ProposalVWB,
+		Axes: []dse.Axis{
+			{Name: "rows", Values: rows},
+			{Name: "banks", Values: banks},
+			{Name: "read-latency", Values: lats},
+		},
+	}
+}
+
+// TestSearchFullBudgetIsExhaustive: a budget covering the whole space
+// must recover exactly the exhaustive evaluation — same points, same
+// objectives, same ranks — on the smoke space and on randomized spaces.
+// The degenerate-to-Evaluate rule makes this structural; the test pins
+// the rule (and the CountUpTo sizing behind it) from the outside.
+func TestSearchFullBudgetIsExhaustive(t *testing.T) {
+	benches := twoBenches(t)
+	r := rand.New(rand.NewSource(2))
+	spaces := []dse.Space{dse.Smoke(), randomSpace(r, 0), randomSpace(r, 1)}
+	for _, sp := range spaces {
+		s := experiments.NewSuiteJobs(benches, 4)
+		ev, err := dse.Evaluate(s, benches, sp)
+		if err != nil {
+			t.Fatalf("%s: exhaustive: %v", sp.Name, err)
+		}
+		res, err := dse.Search(s, benches, sp, dse.SearchOptions{Budget: len(ev.Points) + 10, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: search: %v", sp.Name, err)
+		}
+		if !res.Exhaustive {
+			t.Errorf("%s: full-budget search did not degenerate to exhaustive", sp.Name)
+		}
+		if !reflect.DeepEqual(res.Points, ev.Points) {
+			t.Errorf("%s: full-budget search points differ from exhaustive evaluation", sp.Name)
+		}
+	}
+}
+
+// TestSearchPartialBudgetArchiveSound: with a budget of two thirds of
+// the space, every frontier member the search reports must be genuinely
+// non-dominated in the full exhaustive evaluation, and every archived
+// objective vector must equal the exhaustive vector for the same label
+// bit for bit (completed abortable replays are byte-identical to live
+// runs, DESIGN.md §7.4).
+func TestSearchPartialBudgetArchiveSound(t *testing.T) {
+	benches := twoBenches(t)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2; i++ {
+		sp := randomSpace(r, 10+i)
+		s := experiments.NewSuiteJobs(benches, 4)
+		ev, err := dse.Evaluate(s, benches, sp)
+		if err != nil {
+			t.Fatalf("%s: exhaustive: %v", sp.Name, err)
+		}
+		budget := len(ev.Points) * 2 / 3
+		res, err := dse.Search(s, benches, sp, dse.SearchOptions{Budget: budget, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("%s: search: %v", sp.Name, err)
+		}
+		if res.Exhaustive {
+			t.Fatalf("%s: half budget %d unexpectedly covered the space", sp.Name, budget)
+		}
+		if res.FullEvals > budget {
+			t.Errorf("%s: %d full evals exceed budget %d", sp.Name, res.FullEvals, budget)
+		}
+
+		exact := make(map[string]dse.Objectives, len(ev.Points))
+		var vecs [][]float64
+		for _, p := range ev.Points {
+			exact[p.Point.Label] = p.Obj
+			vecs = append(vecs, p.Obj.Vector())
+		}
+		for _, p := range res.Points {
+			want, ok := exact[p.Point.Label]
+			if !ok {
+				t.Errorf("%s: archived point %q not in the exhaustive evaluation", sp.Name, p.Point.Label)
+				continue
+			}
+			if p.Obj != want {
+				t.Errorf("%s: point %q: search objectives %+v != exhaustive %+v",
+					sp.Name, p.Point.Label, p.Obj, want)
+			}
+			if p.Rank != 0 {
+				continue
+			}
+			for j, v := range vecs {
+				if dse.Dominates(v, p.Obj.Vector()) {
+					t.Errorf("%s: reported frontier member %q is dominated by exhaustive point %q",
+						sp.Name, p.Point.Label, ev.Points[j].Point.Label)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchDeterministicUnderParallelism: a fixed seed must be
+// byte-identical at -j 1 and -j 8 — rendered frontier, CSV dump, raw
+// points and the search accounting (the same contract the exhaustive
+// engine pins in TestSmokeDeterministicUnderParallelism).
+func TestSearchDeterministicUnderParallelism(t *testing.T) {
+	benches := smallBenches(t)
+	run := func(jobs int) *dse.SearchResult {
+		s := experiments.NewSuiteJobs(benches, jobs)
+		res, err := dse.Search(s, benches, dse.Smoke(), dse.SearchOptions{Budget: 6, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r8 := run(1), run(8)
+
+	if !bytes.Equal([]byte(r1.FrontierTable(0).Render()), []byte(r8.FrontierTable(0).Render())) {
+		t.Errorf("frontier table differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			r1.FrontierTable(0).Render(), r8.FrontierTable(0).Render())
+	}
+	if r1.PointsTable().CSV() != r8.PointsTable().CSV() {
+		t.Error("points CSV differs between -j 1 and -j 8")
+	}
+	if !reflect.DeepEqual(r1.Points, r8.Points) {
+		t.Error("raw archives differ between -j 1 and -j 8")
+	}
+	if r1.FullEvals != r8.FullEvals || r1.Aborted != r8.Aborted ||
+		r1.RungEvals != r8.RungEvals || r1.Generations != r8.Generations {
+		t.Errorf("search accounting differs: j1 %d/%d/%d/%d, j8 %d/%d/%d/%d",
+			r1.FullEvals, r1.Aborted, r1.RungEvals, r1.Generations,
+			r8.FullEvals, r8.Aborted, r8.RungEvals, r8.Generations)
+	}
+	if !strings.Contains(r1.FrontierTable(0).Title, "seed 1") {
+		t.Errorf("frontier title does not name the effective seed: %q", r1.FrontierTable(0).Title)
+	}
+}
+
+// TestSearchRefindsProposal: guided search over the 240-point proposal
+// space on a fraction of the budget must re-find the paper's 2Kbit /
+// 4-bank VWB design point on the archive frontier — the headline "does
+// guidance actually guide" check.
+func TestSearchRefindsProposal(t *testing.T) {
+	benches := twoBenches(t)
+	s := experiments.NewSuiteJobs(benches, 4)
+	res, err := dse.Search(s, benches, dse.Proposal(), dse.SearchOptions{Budget: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive {
+		t.Fatal("budget 60 unexpectedly covered the 240-point space")
+	}
+	found := false
+	for _, p := range res.Points {
+		if !p.Proposal {
+			continue
+		}
+		found = true
+		if p.Rank != 0 {
+			t.Errorf("re-found proposal has rank %d, want 0 (frontier)", p.Rank)
+		}
+	}
+	if !found {
+		t.Errorf("search (seed 1, budget 60) did not re-find the paper proposal; frontier:\n%s",
+			res.FrontierTable(0).Render())
+	}
+}
+
+// TestSearchAbortInvariance is the early-abort metamorphic check: the
+// abort is a pure shortcut — the frontier, the accounting and every
+// surviving point must be identical with it on or off; only dominated
+// archive entries may disappear. Full-size kernels so the traces are
+// long enough for abort probes to actually fire.
+func TestSearchAbortInvariance(t *testing.T) {
+	atax, _ := polybench.ByName("atax")
+	gemver, _ := polybench.ByName("gemver")
+	benches := []polybench.Bench{atax, gemver}
+
+	run := func(disable bool) *dse.SearchResult {
+		s := experiments.NewSuiteJobs(benches, 4)
+		res, err := dse.Search(s, benches, dse.Smoke(),
+			dse.SearchOptions{Budget: 6, Seed: 1, DisableAbort: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on, off := run(false), run(true)
+
+	if off.Aborted != 0 {
+		t.Errorf("abort-disabled run reports %d aborts", off.Aborted)
+	}
+	if on.Aborted == 0 {
+		t.Error("abort-enabled run aborted nothing: the metamorphic check exercised no abort")
+	}
+	if on.FullEvals != off.FullEvals || on.RungEvals != off.RungEvals || on.Generations != off.Generations {
+		t.Errorf("abort changed the search trajectory: on %d/%d/%d, off %d/%d/%d",
+			on.FullEvals, on.RungEvals, on.Generations, off.FullEvals, off.RungEvals, off.Generations)
+	}
+	frontierRows := func(r *dse.SearchResult) [][]string { return r.FrontierTable(0).Rows }
+	if !reflect.DeepEqual(frontierRows(on), frontierRows(off)) {
+		t.Errorf("abort changed the frontier:\n--- on ---\n%s\n--- off ---\n%s",
+			on.FrontierTable(0).Render(), off.FrontierTable(0).Render())
+	}
+	// Every point that survived with abort on must exist, with identical
+	// objectives, in the abort-off archive (the converse need not hold).
+	offObjs := make(map[string]dse.Objectives, len(off.Points))
+	for _, p := range off.Points {
+		offObjs[p.Point.Label] = p.Obj
+	}
+	for _, p := range on.Points {
+		want, ok := offObjs[p.Point.Label]
+		if !ok {
+			t.Errorf("abort-on archive holds %q, absent from the abort-off archive", p.Point.Label)
+			continue
+		}
+		if p.Obj != want {
+			t.Errorf("point %q: abort-on objectives %+v != abort-off %+v", p.Point.Label, p.Obj, want)
+		}
+	}
+}
+
+// TestRungScoreMonotoneUnderLatencyDilation: dilating the DL1 read
+// latency can only slow the measured kernel, so the rung's truncated
+// penalty must be non-decreasing in the latency — if truncation broke
+// this ordering the halving ladder would promote the wrong survivors.
+func TestRungScoreMonotoneUnderLatencyDilation(t *testing.T) {
+	benches := twoBenches(t)
+	s := experiments.NewSuiteJobs(benches, 2)
+	rung := dse.RungSpec{Benches: 1, MaxRecords: 2000}
+	sp := dse.AblationReadLat()
+	prev := -1.0
+	for _, lat := range []int64{2, 4, 6, 8} {
+		cfg := sim.DropInSTT()
+		cfg.DL1ReadLat = lat
+		obj, err := rung.Score(s, benches, sp, cfg)
+		if err != nil {
+			t.Fatalf("read=%dcy: %v", lat, err)
+		}
+		if obj.PenaltyPct < prev {
+			t.Errorf("rung penalty not monotone: read=%dcy scored %.3f%% < previous %.3f%%",
+				lat, obj.PenaltyPct, prev)
+		}
+		prev = obj.PenaltyPct
+	}
+}
+
+// TestSearchDegenerateInputs: the regressions the ISSUE calls out —
+// empty and one-point spaces, a non-positive budget, and -top larger
+// than the row count must all degrade cleanly.
+func TestSearchDegenerateInputs(t *testing.T) {
+	benches := twoBenches(t)
+	s := experiments.NewSuiteJobs(benches, 2)
+
+	if _, err := dse.Search(s, benches, dse.Smoke(), dse.SearchOptions{Budget: 0, Seed: 1}); err == nil {
+		t.Error("budget 0 accepted")
+	}
+
+	empty := dse.Space{
+		Name: "empty",
+		Base: sim.DropInSTT,
+		Axes: []dse.Axis{{Name: "x", Values: []dse.Value{{Label: "a"}}}},
+		Constraints: []dse.Constraint{{
+			Desc: "prune everything",
+			Keep: func(sim.Config) bool { return false },
+		}},
+	}
+	if _, err := dse.Search(s, benches, empty, dse.SearchOptions{Budget: 4, Seed: 1}); err == nil {
+		t.Error("search over an all-pruned space returned no error")
+	}
+	if _, err := dse.Evaluate(s, benches, empty); err == nil {
+		t.Error("evaluation of an all-pruned space returned no error")
+	}
+
+	one := dse.Space{
+		Name: "one",
+		Base: sim.ProposalVWB,
+		Axes: []dse.Axis{{Name: "only", Values: []dse.Value{{Label: "proposal"}}}},
+	}
+	res, err := dse.Search(s, benches, one, dse.SearchOptions{Budget: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("one-point space: %v", err)
+	}
+	if !res.Exhaustive {
+		t.Error("one-point space did not evaluate exhaustively")
+	}
+	if len(res.Points) != 2 { // the point and the SRAM reference
+		t.Errorf("one-point space archived %d points, want 2", len(res.Points))
+	}
+	over := res.FrontierTable(99)
+	if len(over.Rows) == 0 {
+		t.Error("-top beyond the row count dropped every row")
+	}
+	if strings.Contains(over.Render(), "showing") {
+		t.Error("-top beyond the row count claims truncation")
+	}
+}
+
+// TestSpaceAtMatchesEnumerate: property check (testing/quick) that the
+// genome accessor At agrees with Enumerate on the proposal space —
+// every accepted genome assembles a config the enumeration also built
+// under the same label, and malformed genomes are rejected.
+func TestSpaceAtMatchesEnumerate(t *testing.T) {
+	sp := dse.Proposal()
+	byLabel := make(map[string]sim.Config)
+	for _, p := range sp.Enumerate() {
+		byLabel[p.Label] = p.Config
+	}
+	prop := func(raw []uint16) bool {
+		genome := make([]int, len(sp.Axes))
+		for i := range genome {
+			var v uint16
+			if i < len(raw) {
+				v = raw[i]
+			}
+			genome[i] = int(v) % len(sp.Axes[i].Values)
+		}
+		pt, ok := sp.At(genome)
+		if !ok {
+			return true // constraint-pruned: not a point, nothing to match
+		}
+		want, inEnum := byLabel[pt.Label]
+		return inEnum && want == pt.Config
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+
+	if _, ok := sp.At([]int{0}); ok {
+		t.Error("short genome accepted")
+	}
+	if _, ok := sp.At(make([]int, len(sp.Axes)+1)); ok {
+		t.Error("long genome accepted")
+	}
+	bad := make([]int, len(sp.Axes))
+	bad[0] = -1
+	if _, ok := sp.At(bad); ok {
+		t.Error("negative gene accepted")
+	}
+	bad[0] = len(sp.Axes[0].Values)
+	if _, ok := sp.At(bad); ok {
+		t.Error("out-of-range gene accepted")
+	}
+}
+
+// TestSpaceCountUpTo: the lazy counter must agree with Enumerate and
+// honor its early-stop limit.
+func TestSpaceCountUpTo(t *testing.T) {
+	sp := dse.Proposal()
+	want := len(sp.Enumerate())
+	if got := sp.CountUpTo(0); got != want {
+		t.Errorf("CountUpTo(0) = %d, want %d", got, want)
+	}
+	if got := sp.CountUpTo(5); got != 5 {
+		t.Errorf("CountUpTo(5) = %d, want 5", got)
+	}
+	if got := sp.CountUpTo(want + 100); got != want {
+		t.Errorf("CountUpTo(beyond) = %d, want %d", got, want)
+	}
+}
+
+// TestSearchMegaWithinBudget pins the acceptance criterion: the mega
+// space holds >= 10^5 points, and a guided run finds a frontier with
+// at least 10x fewer full evaluations than exhaustive enumeration
+// would need, reporting the effective seed in every table header.
+func TestSearchMegaWithinBudget(t *testing.T) {
+	benches := twoBenches(t)
+	s := experiments.NewSuiteJobs(benches, 8)
+	res, err := dse.Search(s, benches, dse.Mega(), dse.SearchOptions{Budget: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive {
+		t.Fatal("mega space evaluated exhaustively")
+	}
+	if res.SpacePoints < 100000 {
+		t.Errorf("mega space has %d points, want >= 100000", res.SpacePoints)
+	}
+	if res.FullEvals > 12 {
+		t.Errorf("search ran %d full evals, budget 12", res.FullEvals)
+	}
+	if 10*res.FullEvals > res.SpacePoints {
+		t.Errorf("search used %d full evals over a %d-point space: not a 10x saving",
+			res.FullEvals, res.SpacePoints)
+	}
+	frontier := 0
+	for _, p := range res.Points {
+		if p.Rank == 0 {
+			frontier++
+		}
+	}
+	if frontier == 0 {
+		t.Error("empty frontier")
+	}
+	for _, tab := range []string{res.FrontierTable(0).Title, res.PointsTable().Title} {
+		if !strings.Contains(tab, "seed 1") {
+			t.Errorf("table header does not name the effective seed: %q", tab)
+		}
+	}
+}

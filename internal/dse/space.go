@@ -100,34 +100,50 @@ func (s Space) BaselineFor(pt sim.Config) sim.Config {
 	return base
 }
 
-// Enumerate expands the space's cross product in odometer order (the
-// first axis is the outermost digit), applies every axis value to a
-// fresh Base configuration, drops configurations any constraint
-// rejects, and returns the surviving points. The order is a pure
-// function of the space definition, so everything downstream —
-// evaluation batches, tables, CSV — is deterministic.
-func (s Space) Enumerate() []Point {
+// At assembles the single design point at the given per-axis value
+// indices (a "genome" in the guided search's terms). It returns false
+// when an index is out of range or a constraint prunes the assembled
+// configuration. The returned point's Index is -1: computing its
+// position in the pruned enumeration order would cost a full
+// enumeration, which is exactly what large-space callers are avoiding.
+func (s Space) At(idx []int) (Point, bool) {
+	if len(idx) != len(s.Axes) || len(s.Axes) == 0 {
+		return Point{}, false
+	}
+	for ai, a := range s.Axes {
+		if idx[ai] < 0 || idx[ai] >= len(a.Values) {
+			return Point{}, false
+		}
+	}
+	cfg := s.Base()
+	labels := make([]string, len(s.Axes))
+	for ai, a := range s.Axes {
+		v := a.Values[idx[ai]]
+		labels[ai] = v.Label
+		if v.Apply != nil {
+			v.Apply(&cfg)
+		}
+	}
+	if !s.keep(cfg) {
+		return Point{}, false
+	}
+	label := s.label(labels)
+	cfg.Name = s.Name + "/" + label
+	return Point{Index: -1, Label: label, Labels: labels, Config: cfg}, true
+}
+
+// odometer walks the cross product in enumeration order (first axis
+// outermost), calling visit for each index vector; visit returns false
+// to stop the walk early.
+func (s Space) odometer(visit func(idx []int) bool) {
 	if len(s.Axes) == 0 {
-		return nil
+		return
 	}
 	idx := make([]int, len(s.Axes))
-	var out []Point
 	for {
-		cfg := s.Base()
-		labels := make([]string, len(s.Axes))
-		for ai, a := range s.Axes {
-			v := a.Values[idx[ai]]
-			labels[ai] = v.Label
-			if v.Apply != nil {
-				v.Apply(&cfg)
-			}
+		if !visit(idx) {
+			return
 		}
-		if s.keep(cfg) {
-			label := s.label(labels)
-			cfg.Name = s.Name + "/" + label
-			out = append(out, Point{Index: len(out), Label: label, Labels: labels, Config: cfg})
-		}
-		// Advance the odometer, last axis fastest.
 		ai := len(idx) - 1
 		for ; ai >= 0; ai-- {
 			idx[ai]++
@@ -137,9 +153,45 @@ func (s Space) Enumerate() []Point {
 			idx[ai] = 0
 		}
 		if ai < 0 {
-			return out
+			return
 		}
 	}
+}
+
+// Enumerate expands the space's cross product in odometer order (the
+// first axis is the outermost digit), applies every axis value to a
+// fresh Base configuration, drops configurations any constraint
+// rejects, and returns the surviving points. The order is a pure
+// function of the space definition, so everything downstream —
+// evaluation batches, tables, CSV — is deterministic.
+func (s Space) Enumerate() []Point {
+	var out []Point
+	s.odometer(func(idx []int) bool {
+		if p, ok := s.At(idx); ok {
+			p.Index = len(out)
+			out = append(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+// CountUpTo counts the space's kept points without materializing them,
+// stopping early once limit is reached (limit <= 0 counts everything).
+// This is how callers size a mega-space — or prove it small enough to
+// enumerate — without building 10^5 Point structs.
+func (s Space) CountUpTo(limit int) int {
+	n := 0
+	s.odometer(func(idx []int) bool {
+		if _, ok := s.At(idx); ok {
+			n++
+			if limit > 0 && n >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return n
 }
 
 func (s Space) keep(cfg sim.Config) bool {

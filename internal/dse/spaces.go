@@ -19,6 +19,7 @@ import (
 func Spaces() []Space {
 	return []Space{
 		Proposal(),
+		Mega(),
 		Smoke(),
 		AblationBanks(),
 		AblationReadLat(),
@@ -164,6 +165,78 @@ func Proposal() Space {
 				return c.FrontEnd != sim.FEDirect || c.BufferBits == 2048
 			},
 		}},
+	}
+}
+
+// transferAxis sweeps the VWB row-transfer delay (cycles per word
+// streamed into the buffer row).
+func transferAxis(cycles ...int64) Axis {
+	a := Axis{Name: "transfer"}
+	for _, tc := range cycles {
+		tc := tc
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf("xfer=%dcy", tc),
+			Apply: func(c *sim.Config) { c.VWBTransfer = tc },
+		})
+	}
+	return a
+}
+
+// prefetchAxis sweeps the compiler's prefetch depth: off, or 1/2/4
+// hardware-assisted streams. The penalty baseline shares the point's
+// compile options (Space.BaselineFor), so the axis isolates how
+// prefetching interacts with the NVM latency rather than rewarding
+// better software across the board.
+func prefetchAxis(streams ...int) Axis {
+	a := Axis{Name: "prefetch"}
+	a.Values = append(a.Values, Value{Label: "pf=off"})
+	for _, n := range streams {
+		n := n
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf("pf=%dstream", n),
+			Apply: func(c *sim.Config) {
+				c.Compile.Prefetch = true
+				c.Compile.PrefetchStreams = n
+			},
+		})
+	}
+	return a
+}
+
+// Mega is the guided search's target: every proposal-space axis widened
+// to its plausible range and crossed with the VWB transfer delay, the
+// core's store-buffer depth and the compiler's prefetch streams —
+// 144,480 points after pruning, far past exhaustive evaluation but
+// trivially within `sttexplore dse -search guided -budget N` reach.
+func Mega() Space {
+	return Space{
+		Name: "mega",
+		Desc: "guided-search mega-space: front-end × rows × banks × latency × transfer × store-buffer × prefetch",
+		Base: sttBase,
+		Axes: []Axis{
+			frontEndAxis(),
+			rowsAxis(1024, 2048, 4096, 8192, 16384, 32768, 65536),
+			banksAxis("%dbank", 1, 2, 4, 8, 16, 32),
+			readLatAxis("read=%dcy", 2, 3, 4, 5, 6, 7, 8),
+			writeLatAxis("write=%dcy", 1, 2, 3, 4),
+			transferAxis(1, 2, 3, 4),
+			storeBufAxis("sb=%d", 1, 2, 4, 8, 16),
+			prefetchAxis(1, 2, 4),
+		},
+		Constraints: []Constraint{
+			{
+				Desc: "a direct front-end has no buffer: keep only the 2Kbit placeholder",
+				Keep: func(c sim.Config) bool {
+					return c.FrontEnd != sim.FEDirect || c.BufferBits == 2048
+				},
+			},
+			{
+				Desc: "only the VWB streams rows: keep the 1-cycle transfer elsewhere",
+				Keep: func(c sim.Config) bool {
+					return c.FrontEnd == sim.FEVWB || c.VWBTransfer == 1
+				},
+			},
+		},
 	}
 }
 

@@ -189,6 +189,11 @@ func runKey(b polybench.Bench, cfg sim.Config) string {
 	var sb strings.Builder
 	sb.Grow(96 + len(b.Name))
 	sb.WriteString(b.Name)
+	// The problem size must be part of the key: tests rebind
+	// Bench.Default, and a suite mixing sizes of one bench would
+	// otherwise serve the wrong memoized result.
+	sb.WriteByte('@')
+	sb.WriteString(strconv.Itoa(b.Default))
 	sb.WriteByte('|')
 	appendCfgKey(&sb, cfg)
 	return sb.String()
@@ -216,6 +221,20 @@ func (s *Suite) RunContext(ctx context.Context, b polybench.Bench, cfg sim.Confi
 		return nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Name, err)
 	}
 	return r, nil
+}
+
+// ReplayCtl executes bench b under cfg by partial timing replay
+// (truncation and/or early abort; DESIGN.md §7.5). Partial results
+// describe a prefix of the run, so they bypass the suite's memo entirely
+// — only the underlying compile+capture is shared through the trace
+// cache. The returned bool reports whether the measured pass aborted.
+func (s *Suite) ReplayCtl(b polybench.Bench, cfg sim.Config, ctl *sim.ReplayCtl) (*sim.RunResult, bool, error) {
+	cfg = s.applyCheck(cfg)
+	r, aborted, err := replay.RunCtl(s.ctx, s.traces, b, cfg, ctl)
+	if err != nil {
+		return nil, false, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Name, err)
+	}
+	return r, aborted, nil
 }
 
 // Cycles is Run reduced to the cycle count.

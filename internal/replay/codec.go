@@ -82,33 +82,40 @@ func Decode(r io.Reader, prog *isa.Program) (*cpu.Trace, error) {
 		return nil, fmt.Errorf("replay: implausible trace length %d", n64)
 	}
 	n := int(n64)
-	pcs := make([]int32, n)
+	// Grow the streams incrementally rather than trusting the claimed
+	// length up front: a hostile header can claim 2^32 records (a
+	// multi-GB up-front allocation) while the body holds three bytes.
+	// Each record costs at least one byte per stream, so allocation
+	// stays proportional to the bytes actually read.
+	const initCap = 1 << 16
+	pcs := make([]int32, 0, min(n, initCap))
 	var prevPC int32
-	for i := range pcs {
+	for i := 0; i < n; i++ {
 		d, err := binary.ReadVarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("replay: reading pc %d: %w", i, err)
 		}
 		prevPC += int32(d)
-		pcs[i] = prevPC
+		pcs = append(pcs, prevPC)
 	}
-	addrs := make([]uint32, n)
+	addrs := make([]uint32, 0, min(n, initCap))
 	var prevAddr uint32
-	for i := range addrs {
+	for i := 0; i < n; i++ {
 		d, err := binary.ReadVarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("replay: reading addr %d: %w", i, err)
 		}
 		prevAddr += uint32(int32(d))
-		addrs[i] = prevAddr
+		addrs = append(addrs, prevAddr)
 	}
-	taken := make([]uint64, (n+63)/64)
-	for i := range taken {
+	words := (n + 63) / 64
+	taken := make([]uint64, 0, min(words, initCap))
+	for i := 0; i < words; i++ {
 		w, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("replay: reading taken word %d: %w", i, err)
 		}
-		taken[i] = w
+		taken = append(taken, w)
 	}
 	return cpu.NewTrace(prog, pcs, addrs, taken)
 }

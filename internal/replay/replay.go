@@ -87,3 +87,19 @@ func Run(ctx context.Context, c *Cache, b polybench.Bench, cfg sim.Config) (*sim
 	}
 	return sys.ReplayCompiled(ck, tr)
 }
+
+// RunCtl is Run with partial-replay control (truncation and early abort,
+// DESIGN.md §7.5). The returned bool reports whether the measured pass
+// was aborted. Results from a non-nil ctl describe a prefix of the run
+// and must never be cached as if they were complete.
+func RunCtl(ctx context.Context, c *Cache, b polybench.Bench, cfg sim.Config, ctl *sim.ReplayCtl) (*sim.RunResult, bool, error) {
+	ck, tr, err := c.Trace(ctx, b, sim.CompileOptions(cfg))
+	if err != nil {
+		return nil, false, err
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return sys.ReplayCompiledCtl(ck, tr, ctl)
+}

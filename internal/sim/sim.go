@@ -371,12 +371,44 @@ func (s *System) ReplayCompiled(ck *compile.Compiled, tr *cpu.Trace) (*RunResult
 
 // replayOnce replays one timing pass over the trace.
 func (s *System) replayOnce(ck *compile.Compiled, tr *cpu.Trace) (*RunResult, error) {
-	res, err := s.CPU.ReplayTrace(ck.Prog, tr)
+	res, _, err := s.replayOnceCtl(ck, tr, nil)
+	return res, err
+}
+
+// ReplayCtl controls a partial timing replay; see cpu.ReplayCtl.
+type ReplayCtl = cpu.ReplayCtl
+
+// ReplayCompiledCtl is ReplayCompiled with partial-replay control: the
+// warm-up pass honors only MaxRecords (its cycle counts are discarded,
+// so aborting it would save nothing and desynchronize cache contents
+// between abort-on and abort-off runs), while the measured pass gets the
+// full control block. The returned bool reports whether the measured
+// pass was aborted by ctl.Abort. With a nil ctl this is exactly
+// ReplayCompiled.
+func (s *System) ReplayCompiledCtl(ck *compile.Compiled, tr *cpu.Trace, ctl *ReplayCtl) (*RunResult, bool, error) {
+	if !s.Cfg.ColdStart {
+		warmCtl := ctl
+		if ctl != nil && ctl.Abort != nil {
+			wc := *ctl
+			wc.Abort, wc.CheckEvery = nil, 0
+			warmCtl = &wc
+		}
+		if _, _, err := s.replayOnceCtl(ck, tr, warmCtl); err != nil {
+			return nil, false, err
+		}
+		s.ResetTiming()
+	}
+	return s.replayOnceCtl(ck, tr, ctl)
+}
+
+// replayOnceCtl replays one (possibly partial) timing pass.
+func (s *System) replayOnceCtl(ck *compile.Compiled, tr *cpu.Trace, ctl *ReplayCtl) (*RunResult, bool, error) {
+	res, aborted, err := s.CPU.ReplayTraceCtl(ck.Prog, tr, ctl)
 	if err != nil {
-		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+		return nil, false, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
 	}
 	if err := s.CheckErr(); err != nil {
-		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+		return nil, false, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
 	}
 	return &RunResult{
 		Config:                s.Cfg,
@@ -387,7 +419,7 @@ func (s *System) replayOnce(ck *compile.Compiled, tr *cpu.Trace) (*RunResult, er
 		L2Stats:               s.L2.Stats(),
 		IL1Stats:              s.IL1.Stats(),
 		DL1BankConflictCycles: s.DL1.BankConflictCycles,
-	}, nil
+	}, aborted, nil
 }
 
 // CompileOptions is the configuration's compile options with the

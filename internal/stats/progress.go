@@ -30,6 +30,36 @@ type RunEvent struct {
 // readers on other goroutines.
 type ProgressFunc func(RunEvent)
 
+// SearchEvent describes one completed generation of a guided
+// design-space search (internal/dse.Search). The search engine emits
+// exactly one event per generation, serially, after the generation's
+// full-suite evaluations have landed.
+type SearchEvent struct {
+	// Generation is the 0-based generation number.
+	Generation int
+	// Candidates counts the new genomes proposed this generation.
+	Candidates int
+	// Promoted counts the rung survivors promoted to the full suite.
+	Promoted int
+	// Aborted counts this generation's full evaluations stopped early
+	// because their partial objective vector was provably dominated.
+	Aborted int
+	// FullEvals is the cumulative full-suite evaluation count — the
+	// budget consumed so far, aborted evaluations included.
+	FullEvals int
+	// Budget is the search's full-suite evaluation budget.
+	Budget int
+	// Archive counts the completed evaluations retained so far.
+	Archive int
+	// Frontier counts the archive's current non-dominated points.
+	Frontier int
+}
+
+// SearchProgressFunc observes SearchEvents. Events arrive serially from
+// the search loop, so implementations need no synchronization against
+// other events.
+type SearchProgressFunc func(SearchEvent)
+
 // Counters aggregates RunEvents into the queue-depth and timing
 // telemetry the CLI's summary line prints. Safe for concurrent use.
 type Counters struct {

@@ -3,9 +3,9 @@
 # the race detector (the experiment engine is concurrent; see
 # DESIGN.md §7.1), and finally checked end-to-end runs with the
 # timing-contract oracle (DESIGN.md §7.2) verifying every memory
-# access: a small slice of the Fig. 3 matrix, and the smoke design
-# space through the exploration engine (DESIGN.md §7.3). Run from the
-# repository root.
+# access: a small slice of the Fig. 3 matrix, the smoke design space
+# through the exploration engine (DESIGN.md §7.3), and a guided-search
+# determinism diff (DESIGN.md §7.5). Run from the repository root.
 set -eux
 
 go build ./...
@@ -22,4 +22,10 @@ tmp_off=$(mktemp)
 trap 'rm -f "$tmp_on" "$tmp_off"' EXIT
 go run ./cmd/sttexplore dse -check -space smoke -bench atax,gemver -replay on >"$tmp_on"
 go run ./cmd/sttexplore dse -check -space smoke -bench atax,gemver -replay off >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
+
+# Guided-search determinism (DESIGN.md §7.5): a fixed seed must render
+# byte-identically at any worker count.
+go run ./cmd/sttexplore dse -space smoke -search guided -budget 6 -seed 1 -bench atax,gemver -j 1 >"$tmp_on"
+go run ./cmd/sttexplore dse -space smoke -search guided -budget 6 -seed 1 -bench atax,gemver -j 8 >"$tmp_off"
 cmp "$tmp_on" "$tmp_off"
