@@ -7,7 +7,7 @@
 //	sttexplore list
 //	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
 //	sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
-//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
+//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr|bypass|hybrid] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
 //
 // All three commands take -cpuprofile/-memprofile to write pprof
 // profiles (see EXPERIMENTS.md "Profiling").
@@ -19,6 +19,7 @@
 //	sttexplore run -j 8 all      # paper artifacts + ablations, 8 workers
 //	sttexplore dse -space smoke  # fast design-space sweep + Pareto frontier
 //	sttexplore dse -space proposal -csv   # full ~240-point space, CSV dump
+//	sttexplore dse -space hybrid # latency-hiding space: bypass/partition/shutdown
 //	sttexplore dse -space mega -search guided -budget 64 -seed 1
 //	                             # metaheuristic search over ~144k points
 //	sttexplore bench -cfg vwb -opt gemm
@@ -76,12 +77,19 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func usage() { fmt.Fprintln(os.Stderr, usageText()) }
+
+// usageText builds the help text from the same registries the commands
+// resolve against — the bench configuration table and the built-in
+// design spaces — so new entries appear here without a second edit. The
+// drift test (main_test.go) additionally checks every registered
+// command flag against this text.
+func usageText() string {
+	return fmt.Sprintf(`usage:
   sttexplore list
   sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
   sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
-  sttexplore bench [-cfg sram|dropin|vwb|l0|emshr] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
+  sttexplore bench [-cfg %s] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
 
 run flags:
   -j N    run up to N simulations in parallel (0 = GOMAXPROCS);
@@ -99,8 +107,8 @@ run flags:
           write pprof profiles (all commands)
 
 dse flags:
-  -space  built-in design space to explore (default smoke; see
-          'sttexplore list')
+  -space  built-in design space to explore (default smoke):
+          %s
   -search exhaustive (default) evaluates every point; guided runs the
           frontier-guided metaheuristic (mutation/crossover of the
           Pareto archive + annealed random exploration, a truncated-
@@ -114,9 +122,60 @@ dse flags:
   -j/-v/-bench/-check as for run
 
 bench flags:
+  -cfg    named configuration: %s
   -opt    apply all code transformations
   -n      problem size override (0 = benchmark default)
-  -v      also print the configuration's technology model`)
+  -v      also print the configuration's technology model`,
+		strings.Join(benchConfigNames(), "|"),
+		strings.Join(dse.Names(), ", "),
+		strings.Join(benchConfigNames(), ", "))
+}
+
+// benchConfigs is the `sttexplore bench -cfg` registry, in the order
+// usage lists it. bypass is the prediction-driven NVM read bypass and
+// hybrid stacks all three latency-hiding mechanisms (bypass front-end,
+// 1 SRAM way, dynamic way shutdown) on the STT-MRAM DL1.
+var benchConfigs = []struct {
+	name string
+	make func() sim.Config
+}{
+	{"sram", sim.BaselineSRAM},
+	{"dropin", sim.DropInSTT},
+	{"vwb", sim.ProposalVWB},
+	{"l0", func() sim.Config {
+		cfg := sim.ProposalVWB()
+		cfg.FrontEnd = sim.FEL0
+		cfg.Name = "stt-l0"
+		return cfg
+	}},
+	{"emshr", func() sim.Config {
+		cfg := sim.ProposalVWB()
+		cfg.FrontEnd = sim.FEEMSHR
+		cfg.Name = "stt-emshr"
+		return cfg
+	}},
+	{"bypass", func() sim.Config {
+		cfg := sim.ProposalVWB()
+		cfg.FrontEnd = sim.FEBypass
+		cfg.Name = "stt-bypass"
+		return cfg
+	}},
+	{"hybrid", func() sim.Config {
+		cfg := sim.ProposalVWB()
+		cfg.FrontEnd = sim.FEBypass
+		cfg.SRAMWays = 1
+		cfg.ShutdownInterval = 4096
+		cfg.Name = "stt-hybrid"
+		return cfg
+	}},
+}
+
+func benchConfigNames() []string {
+	out := make([]string, len(benchConfigs))
+	for i, c := range benchConfigs {
+		out[i] = c.name
+	}
+	return out
 }
 
 // profileFlags registers the shared pprof flags (-cpuprofile,
@@ -188,9 +247,16 @@ func cmdList() error {
 	}
 	fmt.Println("\ndesign spaces (sttexplore dse -space <name>):")
 	for _, sp := range dse.Spaces() {
-		// CountUpTo sizes the space without materializing it — the mega
-		// space holds >10^5 points.
-		fmt.Printf("  %-20s %6d point(s)  %s\n", sp.Name, sp.CountUpTo(0), sp.Desc)
+		// CountUpTo sizes the space without materializing it, and the cap
+		// keeps the listing cheap: CountUpTo(0) would walk every point of
+		// the >10^5-point mega space just to print its size.
+		const listCountCap = 100000
+		n := sp.CountUpTo(listCountCap)
+		count := fmt.Sprintf("%d", n)
+		if n >= listCountCap {
+			count = fmt.Sprintf("≥%d", listCountCap)
+		}
+		fmt.Printf("  %-20s %7s point(s)  %s\n", sp.Name, count, sp.Desc)
 	}
 	fmt.Println("\nbenchmarks:")
 	for _, b := range polybench.All() {
@@ -199,15 +265,101 @@ func cmdList() error {
 	return nil
 }
 
-func cmdRun(args []string) error {
+// Flag-set constructors. Each command builds its set through one of
+// these, and the usage drift test enumerates them (commandFlagSets) to
+// check the help text — registering a flag without mentioning it in
+// usageText fails the test.
+
+type runFlagVals struct {
+	benchList  *string
+	verbose    *bool
+	csv        *bool
+	jobs       *int
+	checked    *bool
+	replayMode func() (bool, error)
+	profile    func() (func() error, error)
+}
+
+func newRunFlagSet() (*flag.FlagSet, *runFlagVals) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	benchList := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
-	verbose := fs.Bool("v", false, "log each simulation")
-	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
-	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
-	checked := fs.Bool("check", false, "run every simulation under the timing-contract oracle")
-	replayMode := replayFlag(fs)
-	profile := profileFlags(fs)
+	v := &runFlagVals{
+		benchList: fs.String("bench", "", "comma-separated benchmark subset (default: all)"),
+		verbose:   fs.Bool("v", false, "log each simulation"),
+		csv:       fs.Bool("csv", false, "emit CSV instead of aligned tables"),
+		jobs:      fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j"),
+		checked:   fs.Bool("check", false, "run every simulation under the timing-contract oracle"),
+	}
+	v.replayMode = replayFlag(fs)
+	v.profile = profileFlags(fs)
+	return fs, v
+}
+
+type dseFlagVals struct {
+	runFlagVals
+	spaceName  *string
+	top        *int
+	searchMode *string
+	budget     *int
+	seed       *int64
+}
+
+func newDseFlagSet() (*flag.FlagSet, *dseFlagVals) {
+	fs := flag.NewFlagSet("dse", flag.ExitOnError)
+	v := &dseFlagVals{
+		spaceName:  fs.String("space", "smoke", "built-in design space (see 'sttexplore list')"),
+		top:        fs.Int("top", 0, "keep only the N lowest-penalty frontier rows (0 = all)"),
+		searchMode: fs.String("search", "exhaustive", "exploration strategy: exhaustive, or guided (frontier-guided metaheuristic with a full-evaluation budget)"),
+		budget:     fs.Int("budget", 64, "guided search: full-suite evaluation budget"),
+		seed:       fs.Int64("seed", 1, "guided search: proposal RNG seed (printed in the report header)"),
+	}
+	v.benchList = fs.String("bench", "", "comma-separated benchmark subset (default: all)")
+	v.verbose = fs.Bool("v", false, "log each simulation")
+	v.csv = fs.Bool("csv", false, "dump every evaluated point as CSV instead of the frontier table")
+	v.jobs = fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
+	v.checked = fs.Bool("check", false, "run every simulation under the timing-contract oracle")
+	v.replayMode = replayFlag(fs)
+	v.profile = profileFlags(fs)
+	return fs, v
+}
+
+type benchFlagVals struct {
+	cfgName    *string
+	opt        *bool
+	size       *int
+	verbose    *bool
+	checked    *bool
+	replayMode func() (bool, error)
+	profile    func() (func() error, error)
+}
+
+func newBenchFlagSet() (*flag.FlagSet, *benchFlagVals) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	v := &benchFlagVals{
+		cfgName: fs.String("cfg", "vwb", "named configuration (see usage for the list)"),
+		opt:     fs.Bool("opt", false, "apply all code transformations"),
+		size:    fs.Int("n", 0, "problem size override (0 = benchmark default)"),
+		verbose: fs.Bool("v", false, "also print the configuration's technology model"),
+		checked: fs.Bool("check", false, "run under the timing-contract oracle"),
+	}
+	v.replayMode = replayFlag(fs)
+	v.profile = profileFlags(fs)
+	return fs, v
+}
+
+// commandFlagSets enumerates every subcommand's flag set for the usage
+// drift test.
+func commandFlagSets() map[string]*flag.FlagSet {
+	rfs, _ := newRunFlagSet()
+	dfs, _ := newDseFlagSet()
+	bfs, _ := newBenchFlagSet()
+	return map[string]*flag.FlagSet{"run": rfs, "dse": dfs, "bench": bfs}
+}
+
+func cmdRun(args []string) error {
+	fs, v := newRunFlagSet()
+	benchList, verbose, csv := v.benchList, v.verbose, v.csv
+	jobs, checked := v.jobs, v.checked
+	replayMode, profile := v.replayMode, v.profile
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -286,19 +438,11 @@ func cmdRun(args []string) error {
 // the Pareto frontier (or, with -csv, the full point dump). Output is
 // bit-identical at any -j.
 func cmdDse(args []string) error {
-	fs := flag.NewFlagSet("dse", flag.ExitOnError)
-	spaceName := fs.String("space", "smoke", "built-in design space (see 'sttexplore list')")
-	benchList := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
-	verbose := fs.Bool("v", false, "log each simulation")
-	csv := fs.Bool("csv", false, "dump every evaluated point as CSV instead of the frontier table")
-	top := fs.Int("top", 0, "keep only the N lowest-penalty frontier rows (0 = all)")
-	jobs := fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
-	searchMode := fs.String("search", "exhaustive", "exploration strategy: exhaustive, or guided (frontier-guided metaheuristic with a full-evaluation budget)")
-	budget := fs.Int("budget", 64, "guided search: full-suite evaluation budget")
-	seed := fs.Int64("seed", 1, "guided search: proposal RNG seed (printed in the report header)")
-	checked := fs.Bool("check", false, "run every simulation under the timing-contract oracle")
-	replayMode := replayFlag(fs)
-	profile := profileFlags(fs)
+	fs, v := newDseFlagSet()
+	spaceName, benchList, verbose, csv := v.spaceName, v.benchList, v.verbose, v.csv
+	top, jobs, searchMode := v.top, v.jobs, v.searchMode
+	budget, seed, checked := v.budget, v.seed, v.checked
+	replayMode, profile := v.replayMode, v.profile
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -429,14 +573,10 @@ func (p *progressLine) clear() {
 }
 
 func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	cfgName := fs.String("cfg", "vwb", "configuration: sram, dropin, vwb, l0, emshr")
-	opt := fs.Bool("opt", false, "apply all code transformations")
-	size := fs.Int("n", 0, "problem size override (0 = benchmark default)")
-	verbose := fs.Bool("v", false, "also print the configuration's technology model")
-	checked := fs.Bool("check", false, "run under the timing-contract oracle")
-	replayMode := replayFlag(fs)
-	profile := profileFlags(fs)
+	fs, v := newBenchFlagSet()
+	cfgName, opt, size := v.cfgName, v.opt, v.size
+	verbose, checked := v.verbose, v.checked
+	replayMode, profile := v.replayMode, v.profile
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -462,23 +602,16 @@ func cmdBench(args []string) error {
 	}
 
 	var cfg sim.Config
-	switch *cfgName {
-	case "sram":
-		cfg = sim.BaselineSRAM()
-	case "dropin":
-		cfg = sim.DropInSTT()
-	case "vwb":
-		cfg = sim.ProposalVWB()
-	case "l0":
-		cfg = sim.ProposalVWB()
-		cfg.FrontEnd = sim.FEL0
-		cfg.Name = "stt-l0"
-	case "emshr":
-		cfg = sim.ProposalVWB()
-		cfg.FrontEnd = sim.FEEMSHR
-		cfg.Name = "stt-emshr"
-	default:
-		return fmt.Errorf("unknown configuration %q", *cfgName)
+	found := false
+	for _, c := range benchConfigs {
+		if c.name == *cfgName {
+			cfg = c.make()
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown configuration %q; known: %s", *cfgName, strings.Join(benchConfigNames(), ", "))
 	}
 	if *opt {
 		cfg.Compile = compile.AllOptimizations()

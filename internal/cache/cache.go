@@ -42,6 +42,31 @@ type Config struct {
 
 	MSHRs         int // outstanding-miss registers
 	WriteBufDepth int // eviction write-buffer entries
+
+	// SRAMWays makes the array a hybrid: ways [0, SRAMWays) are built
+	// from fast (SRAM) cells with their own pipelined bank clocks and
+	// latencies, the remaining ways from the configured (NVM)
+	// technology (Khoshavi-style way partitioning). 0 means a
+	// homogeneous array — the model is then bit-identical to the
+	// pre-hybrid cache. Fill steering: read-class misses install into
+	// the SRAM partition, write-class misses into the NVM partition
+	// (falling back to the whole set when the preferred partition has
+	// no usable way), so read-hot lines migrate to the fast ways.
+	SRAMWays int
+	// SRAMReadLat/SRAMWriteLat are the SRAM partition's latencies in
+	// cycles (0 = 1 cycle; the partition is always pipelined with a
+	// 1-cycle initiation interval).
+	SRAMReadLat, SRAMWriteLat int64
+
+	// ShutdownInterval, when positive, power-gates cold non-SRAM ways
+	// (Mittal-style dynamic way shutdown): every interval boundary a
+	// gateable way with no hits or installs over the whole interval is
+	// flushed (dirty lines written back), invalidated and gated; a
+	// boundary that observed capacity pressure (a valid line evicted
+	// from the gateable partition) wakes every gated way instead. At
+	// least one way of the whole set always stays awake. Gated cycles
+	// are scored as leakage savings by internal/energy.
+	ShutdownInterval int64
 }
 
 // Validate checks structural parameters.
@@ -59,6 +84,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cache %s: latencies must be positive", c.Name)
 	case c.MSHRs <= 0:
 		return fmt.Errorf("cache %s: need at least one MSHR", c.Name)
+	case c.SRAMWays < 0 || c.SRAMWays > c.Assoc:
+		return fmt.Errorf("cache %s: SRAM ways %d outside [0, %d]", c.Name, c.SRAMWays, c.Assoc)
+	case c.ShutdownInterval < 0:
+		return fmt.Errorf("cache %s: shutdown interval must be non-negative", c.Name)
 	}
 	sets := c.Size / (c.LineSize * c.Assoc)
 	if sets&(sets-1) != 0 {
@@ -117,8 +146,26 @@ type Cache struct {
 
 	sets     [][]line
 	bankFree []int64
+	// sramFree is the SRAM partition's private per-bank busy-until
+	// clocks (nil unless SRAMWays > 0): the fast ways sit in their own
+	// small array, so an SRAM hit never waits behind a long NVM sense
+	// occupying the main array's bank.
+	sramFree []int64
 	mshrs    []mshr
 	wbuf     []wbEntry
+
+	// Way-shutdown state (allocated only when ShutdownInterval > 0).
+	gated     []bool   // way w is power-gated (holds no lines)
+	gateStart []int64  // cycle way w was gated (meaningful while gated)
+	wayActive []uint64 // hits+installs per way this interval
+	// gatePressure counts valid-line evictions from the gateable
+	// partition this interval — the wake signal.
+	gatePressure uint64
+	// gateHW is the high-water mark of processed interval boundaries.
+	// Request timestamps are not globally monotone across kinds (the
+	// store drain path runs ahead of loads), so boundary processing
+	// only ever moves this mark forward.
+	gateHW int64
 
 	useClock uint64
 	stats    mem.Stats
@@ -134,6 +181,20 @@ type Cache struct {
 	HitUnderFillCycles int64
 	Evictions          uint64
 	DirtyEvictions     uint64
+	// SRAMReads/SRAMWrites count array operations served by the SRAM
+	// partition of a hybrid cache (hits in SRAM ways, installs into
+	// them, and miss probes when the array is all-SRAM); internal/energy
+	// prices them at SRAM instead of NVM per-access energies.
+	SRAMReads, SRAMWrites uint64
+	// PrefetchDrops counts software prefetches dropped because the MSHR
+	// file was full: a hint must never stall the port or evict a demand
+	// miss's entry.
+	PrefetchDrops uint64
+	// Way-shutdown visibility counters.
+	WayShutdowns, WayWakeups, WayFlushWBs uint64
+	// wayOffCycles accumulates gated way-cycles of completed gating
+	// episodes; OffCyclesAt adds the still-open ones.
+	wayOffCycles int64
 }
 
 // New builds a cache in front of next. It panics on an invalid Config:
@@ -155,6 +216,14 @@ func New(cfg Config, next mem.Port) *Cache {
 	if cfg.WriteInterval <= 0 {
 		cfg.WriteInterval = cfg.WriteLat
 	}
+	if cfg.SRAMWays > 0 {
+		if cfg.SRAMReadLat <= 0 {
+			cfg.SRAMReadLat = 1
+		}
+		if cfg.SRAMWriteLat <= 0 {
+			cfg.SRAMWriteLat = 1
+		}
+	}
 	c := &Cache{
 		cfg: cfg, next: next,
 		lineShift: uint(log2(cfg.LineSize)),
@@ -169,6 +238,14 @@ func New(cfg Config, next mem.Port) *Cache {
 		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
 	c.bankFree = make([]int64, cfg.Banks)
+	if cfg.SRAMWays > 0 {
+		c.sramFree = make([]int64, cfg.Banks)
+	}
+	if cfg.ShutdownInterval > 0 {
+		c.gated = make([]bool, cfg.Assoc)
+		c.gateStart = make([]int64, cfg.Assoc)
+		c.wayActive = make([]uint64, cfg.Assoc)
+	}
 	c.mshrs = make([]mshr, cfg.MSHRs)
 	c.wbuf = make([]wbEntry, cfg.WriteBufDepth)
 	return c
@@ -215,18 +292,78 @@ func (c *Cache) lookup(set int, tag mem.Addr) int {
 }
 
 // victimWay picks the LRU way of the set (preferring invalid ways).
-func (c *Cache) victimWay(set int) int {
+func (c *Cache) victimWay(set int) int { return c.victimWayIn(set, 0, c.cfg.Assoc) }
+
+// victimWayIn picks the victim within ways [lo, hi): the first invalid
+// un-gated way, else the un-gated LRU; -1 when every way of the range
+// is gated. With no gating and the full range it reduces exactly to
+// the classic invalid-first LRU choice.
+func (c *Cache) victimWayIn(set, lo, hi int) int {
 	ways := c.sets[set]
-	best := 0
-	for w := range ways {
+	best := -1
+	for w := lo; w < hi; w++ {
+		if c.gated != nil && c.gated[w] {
+			continue
+		}
 		if !ways[w].valid {
 			return w
 		}
-		if ways[w].lastUse < ways[best].lastUse {
+		if best < 0 || ways[w].lastUse < ways[best].lastUse {
 			best = w
 		}
 	}
 	return best
+}
+
+// fillPartition returns the way range a miss of the given class steers
+// its fill into: read-class lines go to the fast SRAM ways, write-class
+// lines to the NVM ways. A homogeneous (or all-SRAM) array steers
+// nowhere — the whole set is one partition.
+func (c *Cache) fillPartition(isWrite bool) (lo, hi int) {
+	lo, hi = 0, c.cfg.Assoc
+	if k := c.cfg.SRAMWays; k > 0 && k < c.cfg.Assoc {
+		if isWrite {
+			lo = k
+		} else {
+			hi = k
+		}
+	}
+	return lo, hi
+}
+
+// waitBank advances start past the bank's busy-until clock,
+// accumulating the conflict counters.
+func (c *Cache) waitBank(clocks []int64, bank int, now int64, kind mem.Kind) int64 {
+	start := now
+	if bf := clocks[bank]; bf > start {
+		c.BankConflictCycles += bf - start
+		if int(kind) < len(c.ConflictByKind) {
+			c.ConflictByKind[kind] += bf - start
+		}
+		start = bf
+	}
+	return start
+}
+
+// missClocks returns the bank-clock array and the latency/initiation
+// interval of the array partition a miss's tag/array probe occupies:
+// the main (NVM) partition, unless the array is all-SRAM.
+func (c *Cache) missClocks() (clocks []int64, lat, ival int64) {
+	if c.cfg.SRAMWays == c.cfg.Assoc && c.sramFree != nil {
+		return c.sramFree, c.cfg.SRAMReadLat, 1
+	}
+	return c.bankFree, c.cfg.ReadLat, c.cfg.ReadInterval
+}
+
+// mshrFreeAt reports whether an MSHR entry is (or will be) free at
+// cycle at, without mutating the file.
+func (c *Cache) mshrFreeAt(at int64) bool {
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid || c.mshrs[i].ready <= at {
+			return true
+		}
+	}
+	return false
 }
 
 // Access implements mem.Port.
@@ -261,13 +398,8 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 	bank := int(l) & c.bankMask
 	lineAddr := req.Addr &^ c.lineMask
 
-	start := now
-	if bf := c.bankFree[bank]; bf > start {
-		c.BankConflictCycles += bf - start
-		if int(req.Kind) < len(c.ConflictByKind) {
-			c.ConflictByKind[req.Kind] += bf - start
-		}
-		start = bf
+	if c.gated != nil {
+		c.advanceShutdown(now)
 	}
 
 	c.useClock++
@@ -276,15 +408,34 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 	c.stats.Record(req.Kind, way >= 0)
 
 	if way >= 0 { // hit
+		sram := way < c.cfg.SRAMWays
+		clocks, lat, ival := c.bankFree, c.cfg.ReadLat, c.cfg.ReadInterval
+		if sram {
+			clocks, lat, ival = c.sramFree, c.cfg.SRAMReadLat, 1
+			if isWrite {
+				lat = c.cfg.SRAMWriteLat
+			}
+		} else if isWrite {
+			lat, ival = c.cfg.WriteLat, c.cfg.WriteInterval
+		}
+		start := c.waitBank(clocks, bank, now, req.Kind)
 		ln := &c.sets[set][way]
 		ln.lastUse = c.useClock
-		lat, ival := c.cfg.ReadLat, c.cfg.ReadInterval
 		if isWrite {
-			lat, ival = c.cfg.WriteLat, c.cfg.WriteInterval
 			ln.dirty = true
 		}
+		if c.wayActive != nil {
+			c.wayActive[way]++
+		}
+		if sram {
+			if isWrite {
+				c.SRAMWrites++
+			} else {
+				c.SRAMReads++
+			}
+		}
 		done := start + lat
-		c.bankFree[bank] = start + ival
+		clocks[bank] = start + ival
 		c.stats.BusyCycles += ival
 		if req.Kind == mem.Prefetch {
 			return start // nothing to do, core does not wait
@@ -293,11 +444,11 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 		// fill is still in flight, so a lookup can hit a line whose data
 		// does not exist yet. Such a hit cannot complete before the fill
 		// delivers the line — cap it at the line's ready time, matching
-		// the merge path's timing.
+		// the merge path's timing. A write retires into the freshly
+		// filled line (lat is the partition's write latency here).
 		avail := ln.ready
 		if isWrite {
-			// The write retires into the freshly filled line.
-			avail = ln.ready + c.cfg.WriteLat
+			avail = ln.ready + lat
 		}
 		if done < avail {
 			c.HitUnderFillCycles += avail - done
@@ -306,7 +457,20 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 		return done
 	}
 
-	// Miss. First check for an in-flight fill of the same line.
+	// Miss: the tag/array probe occupies the main (NVM) partition,
+	// unless the array is all-SRAM.
+	clocks, mlat, mival := c.missClocks()
+	wlat := c.cfg.WriteLat
+	sramProbe := c.cfg.SRAMWays == c.cfg.Assoc && c.sramFree != nil
+	if sramProbe {
+		wlat = c.cfg.SRAMWriteLat
+	}
+	start := c.waitBank(clocks, bank, now, req.Kind)
+	if sramProbe {
+		c.SRAMReads++
+	}
+
+	// First check for an in-flight fill of the same line.
 	if m := c.findMSHR(lineAddr); m != nil {
 		done := m.ready
 		if done < start {
@@ -314,7 +478,7 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 		}
 		if isWrite {
 			// The write retires into the freshly filled line.
-			done += c.cfg.WriteLat
+			done += wlat
 			c.touchFilledLine(set, tag, true)
 		} else {
 			c.touchFilledLine(set, tag, false)
@@ -325,43 +489,179 @@ func (c *Cache) accessOne(now int64, req mem.Req) int64 {
 		return done
 	}
 
+	// A software prefetch is a hint: rather than stall on a full MSHR
+	// file — or reclaim a demand miss's entry — drop it. The decision
+	// uses the request's own timestamp, so it is a pure function of the
+	// pre-access MSHR view. The tag probe still occupied the array.
+	if req.Kind == mem.Prefetch && !c.mshrFreeAt(now) {
+		c.PrefetchDrops++
+		clocks[bank] = start + mival
+		c.stats.BusyCycles += mival
+		return start
+	}
+
 	// Allocate an MSHR, stalling if the file is full.
 	start = c.allocMSHRTime(start)
 
 	// The miss is detected after the tag/array lookup.
-	missAt := start + c.cfg.ReadLat
+	missAt := start + mlat
 	fillDone := c.next.Access(missAt, mem.Req{Addr: lineAddr, Bytes: c.cfg.LineSize, Kind: mem.Fill})
 	c.stats.Fills++
 
-	// Choose and evict the victim.
-	vw := c.victimWay(set)
+	// Choose and evict the victim, steering the fill into the request
+	// class's partition; when the preferred partition has no usable way
+	// (all gated), fall back to the whole set.
+	lo, hi := c.fillPartition(isWrite)
+	vw := c.victimWayIn(set, lo, hi)
+	if vw < 0 {
+		vw = c.victimWayIn(set, 0, c.cfg.Assoc)
+	}
 	victim := &c.sets[set][vw]
 	if victim.valid {
 		c.Evictions++
+		if c.gated != nil && vw >= c.cfg.SRAMWays {
+			// Capacity pressure on the gateable partition: wake signal
+			// for the next interval boundary.
+			c.gatePressure++
+		}
 		if victim.dirty {
 			c.DirtyEvictions++
 			fillDone = c.pushWriteback(fillDone, c.reconstructAddr(set, victim.tag))
 		}
 	}
 	*victim = line{tag: tag, valid: true, dirty: isWrite, lastUse: c.useClock, ready: fillDone + 1}
+	if c.wayActive != nil {
+		c.wayActive[vw]++
+	}
+	if vw < c.cfg.SRAMWays {
+		// The install is an SRAM-partition array write.
+		c.SRAMWrites++
+	}
 
 	// The bank is busy only for the lookup; the line is fetched through
 	// an MSHR while the array keeps serving other requests (the brief
 	// install write at fillDone is not modelled as occupancy, like
 	// gem5's classic caches). The requested word bypasses to the
 	// requester critical-word-first.
-	c.bankFree[bank] = start + c.cfg.ReadInterval
-	c.stats.BusyCycles += c.cfg.ReadInterval
+	clocks[bank] = start + mival
+	c.stats.BusyCycles += mival
 	c.setMSHR(lineAddr, fillDone+1)
 
 	switch req.Kind {
 	case mem.Prefetch:
 		return start
 	case mem.Write, mem.WriteBack:
+		if vw < c.cfg.SRAMWays {
+			return fillDone + c.cfg.SRAMWriteLat
+		}
 		return fillDone + c.cfg.WriteLat
 	default:
 		return fillDone + 1
 	}
+}
+
+// advanceShutdown processes the most recent shutdown-interval boundary
+// at or before now, if it has not been processed yet. Request
+// timestamps are not globally monotone (the store drain runs ahead of
+// loads), so the high-water mark only ever moves forward; a span with
+// no accesses is treated as one long interval.
+func (c *Cache) advanceShutdown(now int64) {
+	iv := c.cfg.ShutdownInterval
+	b := now - now%iv
+	if b <= c.gateHW {
+		return
+	}
+	c.gateHW = b
+	c.intervalBoundary(b)
+}
+
+// intervalBoundary applies the Mittal-style way-shutdown policy at
+// boundary cycle b: under capacity pressure every gated way wakes;
+// otherwise every gateable way with no activity over the interval is
+// gated, as long as at least one way of the set stays awake. Activity
+// and pressure counters restart for the next interval.
+func (c *Cache) intervalBoundary(b int64) {
+	if c.gatePressure > 0 {
+		for w := c.cfg.SRAMWays; w < c.cfg.Assoc; w++ {
+			if c.gated[w] {
+				c.wakeWay(w, b)
+			}
+		}
+	} else {
+		awake := 0
+		for w := 0; w < c.cfg.Assoc; w++ {
+			if !c.gated[w] {
+				awake++
+			}
+		}
+		for w := c.cfg.SRAMWays; w < c.cfg.Assoc; w++ {
+			if !c.gated[w] && c.wayActive[w] == 0 && awake > 1 {
+				c.gateWay(w, b)
+				awake--
+			}
+		}
+	}
+	c.gatePressure = 0
+	for i := range c.wayActive {
+		c.wayActive[i] = 0
+	}
+}
+
+// gateWay power-gates way w at boundary cycle b: dirty lines drain
+// straight to the next level (a dedicated flush path, not the eviction
+// write buffer), every resident line is invalidated — a gated way holds
+// no lines, so no later read can observe stale contents — and the way
+// stops leaking.
+func (c *Cache) gateWay(w int, b int64) {
+	for set := range c.sets {
+		ln := &c.sets[set][w]
+		if ln.valid {
+			if ln.dirty {
+				c.next.Access(b, mem.Req{Addr: c.reconstructAddr(set, ln.tag), Bytes: c.cfg.LineSize, Kind: mem.WriteBack})
+				c.WayFlushWBs++
+			}
+			*ln = line{}
+		}
+	}
+	c.gated[w] = true
+	c.gateStart[w] = b
+	c.WayShutdowns++
+}
+
+// wakeWay re-powers way w at boundary cycle b, banking its completed
+// off-time.
+func (c *Cache) wakeWay(w int, b int64) {
+	c.gated[w] = false
+	if d := b - c.gateStart[w]; d > 0 {
+		c.wayOffCycles += d
+	}
+	c.WayWakeups++
+}
+
+// OffCyclesAt returns the total gated way-cycles as of cycle end:
+// completed gating episodes plus the still-open ones. internal/energy
+// converts this into a leakage credit.
+func (c *Cache) OffCyclesAt(end int64) int64 {
+	off := c.wayOffCycles
+	for w := range c.gated {
+		if c.gated[w] {
+			if d := end - c.gateStart[w]; d > 0 {
+				off += d
+			}
+		}
+	}
+	return off
+}
+
+// GatedWays returns a copy of the per-way power-gating flags (nil when
+// shutdown is disabled), for the invariant checker and tests.
+func (c *Cache) GatedWays() []bool {
+	if c.gated == nil {
+		return nil
+	}
+	out := make([]bool, len(c.gated))
+	copy(out, c.gated)
+	return out
 }
 
 // FetchStream is an open accounting window over the instruction-fetch
@@ -431,6 +731,12 @@ const NoFetchLine = ^mem.Addr(0)
 // lazily on the first Switch and must be Closed before any generic
 // Access to the cache and before the replay returns.
 func (s *FetchStream) Init(c *Cache) {
+	if c.cfg.SRAMWays > 0 || c.cfg.ShutdownInterval > 0 {
+		// The stream inlines the homogeneous read-hit arithmetic; hybrid
+		// partitioning and way shutdown are DL1-only mechanisms, never
+		// configured on the bare IL1 the stream serves.
+		panic(fmt.Sprintf("cache %s: FetchStream requires a homogeneous, always-on array", c.cfg.Name))
+	}
 	s.c = c
 	s.Lat, s.Ival = c.cfg.ReadLat, c.cfg.ReadInterval
 	if s.bankFree == nil || len(s.bankFree) != len(c.bankFree) {
@@ -685,12 +991,14 @@ func (c *Cache) AppendMSHRs(dst []MSHRView) []MSHRView {
 	return dst
 }
 
-// BusyClocks returns a copy of the per-bank busy-until clocks. The
-// invariant checker requires each to be monotonically non-decreasing
-// across accesses (between timing resets).
+// BusyClocks returns a copy of the per-bank busy-until clocks (the
+// SRAM partition's private clocks appended after the main array's, when
+// the cache is hybrid). The invariant checker requires each to be
+// monotonically non-decreasing across accesses (between timing resets).
 func (c *Cache) BusyClocks() []int64 {
-	out := make([]int64, len(c.bankFree))
-	copy(out, c.bankFree)
+	out := make([]int64, 0, len(c.bankFree)+len(c.sramFree))
+	out = append(out, c.bankFree...)
+	out = append(out, c.sramFree...)
 	return out
 }
 
@@ -727,6 +1035,22 @@ func (c *Cache) ResetTiming() {
 	for i := range c.wbuf {
 		c.wbuf[i] = wbEntry{}
 	}
+	for i := range c.sramFree {
+		c.sramFree[i] = 0
+	}
+	// Gated ways stay gated across a timing reset (they hold no lines,
+	// matching the persisting contents), but their episodes restart at
+	// cycle 0 with the measured run's clock.
+	if c.gated != nil {
+		for i := range c.gateStart {
+			c.gateStart[i] = 0
+		}
+		for i := range c.wayActive {
+			c.wayActive[i] = 0
+		}
+		c.gatePressure = 0
+		c.gateHW = 0
+	}
 	c.stats = mem.Stats{}
 	c.BankConflictCycles = 0
 	c.ConflictByKind = [6]int64{}
@@ -735,6 +1059,10 @@ func (c *Cache) ResetTiming() {
 	c.HitUnderFillCycles = 0
 	c.Evictions = 0
 	c.DirtyEvictions = 0
+	c.SRAMReads, c.SRAMWrites = 0, 0
+	c.PrefetchDrops = 0
+	c.WayShutdowns, c.WayWakeups, c.WayFlushWBs = 0, 0, 0
+	c.wayOffCycles = 0
 }
 
 // Reset clears all state and counters.
@@ -746,6 +1074,18 @@ func (c *Cache) Reset() {
 	}
 	for i := range c.bankFree {
 		c.bankFree[i] = 0
+	}
+	for i := range c.sramFree {
+		c.sramFree[i] = 0
+	}
+	if c.gated != nil {
+		for i := range c.gated {
+			c.gated[i] = false
+			c.gateStart[i] = 0
+			c.wayActive[i] = 0
+		}
+		c.gatePressure = 0
+		c.gateHW = 0
 	}
 	for i := range c.mshrs {
 		c.mshrs[i] = mshr{}
@@ -762,4 +1102,8 @@ func (c *Cache) Reset() {
 	c.HitUnderFillCycles = 0
 	c.Evictions = 0
 	c.DirtyEvictions = 0
+	c.SRAMReads, c.SRAMWrites = 0, 0
+	c.PrefetchDrops = 0
+	c.WayShutdowns, c.WayWakeups, c.WayFlushWBs = 0, 0, 0
+	c.wayOffCycles = 0
 }

@@ -28,6 +28,16 @@ type shadowCache struct {
 	sets     [][]shadowLine
 	useClock uint64
 
+	// Way-shutdown mirror (allocated only when ShutdownInterval > 0):
+	// the shadow replays the interval-boundary policy from its own
+	// activity/pressure bookkeeping, so a timing-model way that gates,
+	// wakes, or retains a line the policy says it must not shows up as
+	// a state disagreement.
+	gated     []bool
+	wayActive []uint64
+	pressure  uint64
+	hw        int64
+
 	// dataReady maps an in-flight (or recently filled) line to the cycle
 	// its fill delivers data, learned from the MSHR the timing model
 	// allocates. No data-consuming access to the line may complete
@@ -49,6 +59,11 @@ func newShadow(c *cache.Cache) *shadowCache {
 	backing := make([]shadowLine, cfg.Sets()*cfg.Assoc)
 	for i := range s.sets {
 		s.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	if cfg.ShutdownInterval > 0 {
+		s.gated = make([]bool, cfg.Assoc)
+		copy(s.gated, c.GatedWays())
+		s.wayActive = make([]uint64, cfg.Assoc)
 	}
 	// Adopt whatever the cache already holds (a checker can be attached
 	// to a warm cache), including its recency numbering.
@@ -106,6 +121,10 @@ func (s *shadowCache) stepOne(p *Port, now int64, req mem.Req, done int64, secon
 	set := s.setOf(req.Addr)
 	lineAddr := s.lineOf(req.Addr)
 	isWrite := req.Kind == mem.Write || req.Kind == mem.WriteBack
+
+	if s.gated != nil {
+		s.advanceShutdown(now)
+	}
 
 	// The MSHR view observable here is the state after the WHOLE access,
 	// including both halves of a split.
@@ -167,19 +186,35 @@ func (s *shadowCache) stepOne(p *Port, now int64, req mem.Req, done int64, secon
 		if isWrite {
 			ways[way].dirty = true
 		}
+		if s.wayActive != nil {
+			s.wayActive[way]++
+		}
 	case merged: // MSHR merge: the original miss owns the install
+	case req.Kind == mem.Prefetch && s.prefetchDropped(now, lineAddr, secondHalf):
+		// A software prefetch with no MSHR slot free at its own
+		// timestamp is dropped: no install, no allocation.
 	default: // miss: LRU victim (invalid ways first), install
-		v := 0
-		for w := range ways {
-			if !ways[w].valid {
-				v = w
-				break
-			}
-			if ways[w].lastUse < ways[v].lastUse {
-				v = w
+		lo, hi := 0, len(ways)
+		if k := s.cfg.SRAMWays; k > 0 && k < len(ways) {
+			// Fill steering: read-class misses into the SRAM partition,
+			// write-class into the NVM partition.
+			if isWrite {
+				lo = k
+			} else {
+				hi = k
 			}
 		}
+		v := s.victimIn(ways, lo, hi)
+		if v < 0 {
+			v = s.victimIn(ways, 0, len(ways))
+		}
+		if ways[v].valid && s.gated != nil && v >= s.cfg.SRAMWays {
+			s.pressure++
+		}
 		ways[v] = shadowLine{addr: lineAddr, valid: true, dirty: isWrite, lastUse: s.useClock}
+		if s.wayActive != nil {
+			s.wayActive[v]++
+		}
 		allocated = true
 	}
 
@@ -212,6 +247,96 @@ func (s *shadowCache) stepOne(p *Port, now int64, req mem.Req, done int64, secon
 		p.record(now, req, fmt.Sprintf("MSHR: line %#x allocated while resident", lineAddr))
 	}
 	s.compareSet(p, now, req, set)
+	if s.gated != nil {
+		for w, g := range s.c.GatedWays() {
+			if g != s.gated[w] {
+				p.record(now, req, fmt.Sprintf("shutdown: way %d gated=%t, shadow says %t", w, g, s.gated[w]))
+			}
+		}
+	}
+}
+
+// victimIn mirrors Cache.victimWayIn: first invalid un-gated way of
+// [lo, hi), else the un-gated LRU, else -1.
+func (s *shadowCache) victimIn(ways []shadowLine, lo, hi int) int {
+	best := -1
+	for w := lo; w < hi; w++ {
+		if s.gated != nil && s.gated[w] {
+			continue
+		}
+		if !ways[w].valid {
+			return w
+		}
+		if best < 0 || ways[w].lastUse < ways[best].lastUse {
+			best = w
+		}
+	}
+	return best
+}
+
+// prefetchDropped decides whether a missing, un-merged prefetch was
+// dropped for want of an MSHR. For the leading half the pre-access
+// snapshot answers exactly (mirroring Cache.mshrFreeAt). The trailing
+// half of a split runs against MSHR state the leading half may have
+// changed, which we cannot observe — there the post state answers: an
+// installed prefetch always leaves an MSHR entry for its line, a
+// dropped one never does. (The core only issues word-sized prefetches,
+// so the weaker trailing-half form is exercised only by synthetic
+// streams.)
+func (s *shadowCache) prefetchDropped(now int64, lineAddr mem.Addr, secondHalf bool) bool {
+	if secondHalf {
+		for _, q := range s.post {
+			if q.Valid && q.LineAddr == lineAddr {
+				return false
+			}
+		}
+		return true
+	}
+	for _, m := range s.pre {
+		if !m.Valid || m.Ready <= now {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceShutdown mirrors Cache.advanceShutdown/intervalBoundary: on a
+// fresh interval boundary at or before now, capacity pressure wakes
+// every gated way, otherwise inactive gateable ways power-gate (their
+// lines vanish — dirty ones drained to the next level), keeping at
+// least one way awake.
+func (s *shadowCache) advanceShutdown(now int64) {
+	iv := s.cfg.ShutdownInterval
+	b := now - now%iv
+	if b <= s.hw {
+		return
+	}
+	s.hw = b
+	if s.pressure > 0 {
+		for w := s.cfg.SRAMWays; w < s.cfg.Assoc; w++ {
+			s.gated[w] = false
+		}
+	} else {
+		awake := 0
+		for w := 0; w < s.cfg.Assoc; w++ {
+			if !s.gated[w] {
+				awake++
+			}
+		}
+		for w := s.cfg.SRAMWays; w < s.cfg.Assoc; w++ {
+			if !s.gated[w] && s.wayActive[w] == 0 && awake > 1 {
+				s.gated[w] = true
+				awake--
+				for set := range s.sets {
+					s.sets[set][w] = shadowLine{}
+				}
+			}
+		}
+	}
+	s.pressure = 0
+	for i := range s.wayActive {
+		s.wayActive[i] = 0
+	}
 }
 
 // compareSet verifies the timing model's set contents against the shadow,
@@ -243,8 +368,16 @@ func (s *shadowCache) audit(p *Port) {
 }
 
 // resetTiming mirrors Cache.ResetTiming: clocks and MSHRs clear, cache
-// contents (and the LRU use clock) persist.
+// contents (and the LRU use clock) persist. Gated ways stay gated, but
+// interval bookkeeping restarts with the measured run's clock.
 func (s *shadowCache) resetTiming() {
 	s.dataReady = make(map[mem.Addr]int64)
 	s.pre = s.pre[:0]
+	if s.gated != nil {
+		s.hw = 0
+		s.pressure = 0
+		for i := range s.wayActive {
+			s.wayActive[i] = 0
+		}
+	}
 }

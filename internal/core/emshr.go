@@ -118,7 +118,16 @@ func (m *EMSHR) Access(now int64, req mem.Req) int64 {
 			return now
 		}
 		m.stats.Record(mem.Prefetch, false)
-		m.allocate(now, lineAddr)
+		// Issue once the port frees: allocate() pushes portFree to the
+		// refill's end, so allocating at a bare `now` while an earlier
+		// refill still streams would move the busy clock backward (a
+		// monotonicity violation) and un-reserve the port it occupies.
+		// The core itself never waits on a hint.
+		start := now
+		if m.portFree > start {
+			start = m.portFree
+		}
+		m.allocate(start, lineAddr)
 		if sp := m.buf.find(lineAddr); sp != nil {
 			sp.spec = true
 		}

@@ -74,18 +74,28 @@ func (l *L0Cache) Contains(addr mem.Addr) bool { return l.buf.contains(addr) }
 // checker's monotonicity check.
 func (l *L0Cache) BusyClocks() []int64 { return []int64{l.portFree} }
 
+// waitPort advances now past the narrow port's busy clock. Only
+// core-visible waits charge PortStallCycles: a software prefetch is
+// fire-and-forget, so its issue waits for the port (charge=false) but
+// never stalls the core.
+func (l *L0Cache) waitPort(now int64, charge bool) int64 {
+	if l.portFree > now {
+		if charge {
+			l.PortStallCycles += l.portFree - now
+		}
+		now = l.portFree
+	}
+	return now
+}
+
 // Access implements mem.Port.
 func (l *L0Cache) Access(now int64, req mem.Req) int64 {
 	lineAddr := mem.LineAddr(req.Addr, l.buf.lineSize)
-	start := now
-	if l.portFree > start {
-		l.PortStallCycles += l.portFree - start
-		start = l.portFree
-	}
 	e := l.buf.find(lineAddr)
 
 	switch req.Kind {
 	case mem.Read, mem.Fetch:
+		start := l.waitPort(now, true)
 		if e != nil {
 			e.spec = false
 			l.buf.touch(e)
@@ -101,6 +111,7 @@ func (l *L0Cache) Access(now int64, req mem.Req) int64 {
 		return l.refill(start, lineAddr)
 
 	case mem.Write:
+		start := l.waitPort(now, true)
 		if e != nil {
 			l.buf.touch(e)
 			e.dirty = true
@@ -116,19 +127,22 @@ func (l *L0Cache) Access(now int64, req mem.Req) int64 {
 		return l.dl1.Access(start, req)
 
 	case mem.Prefetch:
+		// Non-blocking: resident or filtered hints cost nothing, a useful
+		// one issues its refill once the port frees — the core never
+		// waits either way.
 		if e != nil || l.buf.prefetchFiltered(now, lineAddr) {
 			l.stats.Record(mem.Prefetch, true)
 			return now
 		}
 		l.stats.Record(mem.Prefetch, false)
-		l.refill(start, lineAddr)
+		l.refill(l.waitPort(now, false), lineAddr)
 		if sp := l.buf.find(lineAddr); sp != nil {
 			sp.spec = true
 		}
 		return now
 
 	default:
-		return l.dl1.Access(start, req)
+		return l.dl1.Access(l.waitPort(now, true), req)
 	}
 }
 

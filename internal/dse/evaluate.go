@@ -213,6 +213,15 @@ func normalize(cfg sim.Config) sim.Config {
 	if cfg.VWBTransfer <= 0 {
 		cfg.VWBTransfer = 1
 	}
+	// The predictor size only exists behind the bypass front-end; on any
+	// other design it is dead state and must not split equality classes.
+	if cfg.FrontEnd != sim.FEBypass {
+		cfg.BypassPredEntries = 0
+	} else if cfg.BypassPredEntries == 0 {
+		cfg.BypassPredEntries = 16
+	}
+	// SRAMWays and ShutdownInterval default to 0 (= homogeneous,
+	// always-on), which is already their zero value — nothing to resolve.
 	return cfg
 }
 

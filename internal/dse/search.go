@@ -476,6 +476,11 @@ func (g *guided) fullEval(pt Point, snapshot [][]float64) (Objectives, bool, err
 	}
 
 	area := areaOf(cfg, model)
+	// With dynamic way shutdown the run's effective leakage power can be
+	// lower than the model's nominal figure; the abort bound must use the
+	// provable floor or it could kill a candidate whose shutdown credit
+	// would have carried it onto the frontier.
+	leakFloorMW := energy.LeakFloorMW(cfg, model)
 	width := cfg.CPU.IssueWidth
 	if width <= 0 {
 		width = cpu.DefaultConfig().IssueWidth
@@ -504,7 +509,7 @@ func (g *guided) fullEval(pt Point, snapshot [][]float64) (Objectives, bool, err
 		ctl := &sim.ReplayCtl{
 			CheckEvery: abortCheckEach,
 			Abort: func(cyclesSoFar int64) bool {
-				lb := g.lowerBound(j, cyclesSoFar, pens, doneUJ, baseCycles, floor, model.LeakageMW, area)
+				lb := g.lowerBound(j, cyclesSoFar, pens, doneUJ, baseCycles, floor, leakFloorMW, area)
 				return dominatedBy(snapshot, lb)
 			},
 		}

@@ -20,6 +20,7 @@ func Spaces() []Space {
 	return []Space{
 		Proposal(),
 		Mega(),
+		Hybrid(),
 		Smoke(),
 		AblationBanks(),
 		AblationReadLat(),
@@ -234,6 +235,90 @@ func Mega() Space {
 				Desc: "only the VWB streams rows: keep the 1-cycle transfer elsewhere",
 				Keep: func(c sim.Config) bool {
 					return c.FrontEnd == sim.FEVWB || c.VWBTransfer == 1
+				},
+			},
+		},
+	}
+}
+
+// predAxis sweeps the bypass front-end's stride-predictor size. Other
+// front-ends have no predictor, so (like the mega space's transfer
+// axis) a companion constraint keeps only the default-sized placeholder
+// there.
+func predAxis(entries ...int) Axis {
+	a := Axis{Name: "predictor"}
+	for _, n := range entries {
+		n := n
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf("pred=%d", n),
+			Apply: func(c *sim.Config) { c.BypassPredEntries = n },
+		})
+	}
+	return a
+}
+
+// sramWaysAxis sweeps the hybrid partition: how many of the DL1's ways
+// are built in SRAM instead of STT-MRAM.
+func sramWaysAxis(ways ...int) Axis {
+	a := Axis{Name: "sram-ways"}
+	for _, w := range ways {
+		w := w
+		a.Values = append(a.Values, Value{
+			Label: fmt.Sprintf("sram=%dway", w),
+			Apply: func(c *sim.Config) { c.SRAMWays = w },
+		})
+	}
+	return a
+}
+
+// shutdownAxis sweeps the dynamic way-shutdown decision interval
+// (0 = the mechanism off).
+func shutdownAxis(intervals ...int64) Axis {
+	a := Axis{Name: "shutdown"}
+	for _, iv := range intervals {
+		iv := iv
+		label := "sd=off"
+		if iv > 0 {
+			label = fmt.Sprintf("sd=%dcy", iv)
+		}
+		a.Values = append(a.Values, Value{
+			Label: label,
+			Apply: func(c *sim.Config) { c.ShutdownInterval = iv },
+		})
+	}
+	return a
+}
+
+// Hybrid is the latency-hiding space beyond the VWB (DESIGN.md §7.6):
+// the paper's VWB against the prediction-driven read bypass, crossed
+// with the hybrid SRAM/STT way partition and the dynamic way-shutdown
+// interval — 21 points after pruning, exhaustively evaluable, with the
+// paper's proposal (vwb, all-STT, always-on) as one corner.
+func Hybrid() Space {
+	return Space{
+		Name: "hybrid",
+		Desc: "latency hiding: vwb/bypass front-end × predictor size × SRAM ways × shutdown interval",
+		Base: sttBase,
+		Axes: []Axis{
+			{Name: "front-end", Values: []Value{
+				{Label: "vwb", Apply: func(c *sim.Config) { c.FrontEnd = sim.FEVWB; c.BufferBits = 2048 }},
+				{Label: "bypass", Apply: func(c *sim.Config) { c.FrontEnd = sim.FEBypass; c.BufferBits = 2048 }},
+			}},
+			predAxis(4, 16),
+			sramWaysAxis(0, 1, 2),
+			shutdownAxis(0, 4096, 16384),
+		},
+		Constraints: []Constraint{
+			{
+				Desc: "only the bypass front-end has a predictor: keep the pred=16 placeholder elsewhere",
+				Keep: func(c sim.Config) bool {
+					return c.FrontEnd == sim.FEBypass || c.BypassPredEntries == 16
+				},
+			},
+			{
+				Desc: "an all-SRAM DL1 has no gateable NVM ways: shutdown stays off",
+				Keep: func(c sim.Config) bool {
+					return c.SRAMWays < sim.DL1Assoc || c.ShutdownInterval == 0
 				},
 			},
 		},

@@ -17,9 +17,23 @@ import (
 	"sttdl1/internal/tech"
 )
 
+// wayGateFrac is the fraction of a gated way's leakage share that power
+// gating actually recovers: the way's local periphery slice (sense
+// amplifiers, write drivers, local decode) switches off with it, the
+// shared global decode/IO does not.
+const wayGateFrac = 0.85
+
 // DL1UJ computes the DL1 array energy (in µJ) of one run: leakage
 // (power x runtime) and dynamic (per-row-activation energies from the
 // technology model, accumulated over the simulated access streams).
+//
+// For a hybrid (SRAMWays > 0) configuration m is the blended model from
+// ModelFor; operations the simulator served from the SRAM partition
+// (r.DL1SRAMReads/Writes) are re-priced at the SRAM technology's
+// per-access energies. With dynamic way shutdown, gated NVM way-cycles
+// (r.DL1WayOffCycles) earn back wayGateFrac of their leakage share.
+// Homogeneous, always-on configurations take the original path
+// unchanged.
 func DL1UJ(r *sim.RunResult, m tech.Model) (leakUJ, dynUJ float64) {
 	cycles := float64(r.CPU.Cycles)
 	leakPJ := m.LeakageMW * cycles // mW x ns = pJ
@@ -31,9 +45,76 @@ func DL1UJ(r *sim.RunResult, m tech.Model) (leakUJ, dynUJ float64) {
 	writeOps := float64(st.Writes + st.WriteBacks)
 	// Misses additionally write the incoming line into the array.
 	writeOps += float64(st.Misses())
-	dynPJ := readOps*m.ReadPJ + writeOps*m.WritePJ
+
+	cfg := r.Config
+	var dynPJ float64
+	if cfg.SRAMWays > 0 {
+		sm := tech.MustCompute(tech.DefaultArray(tech.SRAM6T))
+		// The simulator's partition counters approximate the op classes
+		// here (installs land in Misses() or Fills depending on kind),
+		// so clamp before splitting.
+		sr, sw := float64(r.DL1SRAMReads), float64(r.DL1SRAMWrites)
+		if sr > readOps {
+			sr = readOps
+		}
+		if sw > writeOps {
+			sw = writeOps
+		}
+		dynPJ = (readOps-sr)*m.ReadPJ + (writeOps-sw)*m.WritePJ + sr*sm.ReadPJ + sw*sm.WritePJ
+	} else {
+		dynPJ = readOps*m.ReadPJ + writeOps*m.WritePJ
+	}
+
+	if cfg.ShutdownInterval > 0 && r.DL1WayOffCycles > 0 {
+		if perWay := perGateableWayLeakMW(cfg, m); perWay > 0 {
+			leakPJ -= wayGateFrac * perWay * float64(r.DL1WayOffCycles)
+			if leakPJ < 0 {
+				leakPJ = 0
+			}
+		}
+	}
 
 	return leakPJ / 1e6, dynPJ / 1e6
+}
+
+// perGateableWayLeakMW is one NVM way's share of the blended model's
+// leakage: the SRAM partition's blended-in share is peeled off first,
+// the remainder belongs to the Assoc-SRAMWays NVM ways.
+func perGateableWayLeakMW(cfg sim.Config, m tech.Model) float64 {
+	nvmWays := sim.DL1Assoc - cfg.SRAMWays
+	if nvmWays <= 0 {
+		return 0
+	}
+	nvmLeak := m.LeakageMW
+	if cfg.SRAMWays > 0 {
+		sm := tech.MustCompute(tech.DefaultArray(tech.SRAM6T))
+		nvmLeak -= sm.LeakageMW * float64(cfg.SRAMWays) / float64(sim.DL1Assoc)
+	}
+	if nvmLeak < 0 {
+		return 0
+	}
+	return nvmLeak / float64(nvmWays)
+}
+
+// LeakFloorMW is the lowest average leakage power cfg can exhibit under
+// its model: m.LeakageMW, minus the largest leakage credit dynamic way
+// shutdown could possibly earn (every gateable way gated for the whole
+// run). The guided search's energy lower bound must use this instead of
+// m.LeakageMW for shutdown-enabled points, or a provably-better point
+// could be aborted as dominated.
+func LeakFloorMW(cfg sim.Config, m tech.Model) float64 {
+	if cfg.ShutdownInterval <= 0 {
+		return m.LeakageMW
+	}
+	gateable := sim.DL1Assoc - cfg.SRAMWays
+	if cfg.SRAMWays == 0 {
+		gateable = sim.DL1Assoc - 1 // one way always stays awake
+	}
+	floor := m.LeakageMW - wayGateFrac*perGateableWayLeakMW(cfg, m)*float64(gateable)
+	if floor < 0 {
+		floor = 0
+	}
+	return floor
 }
 
 // Per-access buffer energy: a register row read close to logic plus a
@@ -117,6 +198,11 @@ const senseLeakMW = 5.0
 //     override equal to the model's own latency changes nothing.
 //   - A bank count away from the default 4 adds (or removes) duplicated
 //     periphery: leakage and area move by a per-bank increment.
+//   - A hybrid partition (SRAMWays > 0) swaps that fraction of the ways
+//     for SRAM: leakage and area become the way-weighted blend of the
+//     NVM model (with the knobs above already applied) and the SRAM
+//     technology's default array. The per-access energies stay the NVM
+//     partition's — DL1UJ re-prices the SRAM-served operations itself.
 //
 // For the named paper configurations (no overrides, default banking)
 // ModelFor is exactly tech.Compute of the default array, so the energy
@@ -151,6 +237,12 @@ func ModelFor(cfg sim.Config) (tech.Model, error) {
 			scale = 0.5
 		}
 		m.AreaMM2 *= scale
+	}
+	if cfg.SRAMWays > 0 {
+		sm := tech.MustCompute(tech.DefaultArray(tech.SRAM6T))
+		fs := float64(cfg.SRAMWays) / float64(sim.DL1Assoc)
+		m.LeakageMW = m.LeakageMW*(1-fs) + sm.LeakageMW*fs
+		m.AreaMM2 = m.AreaMM2*(1-fs) + sm.AreaMM2*fs
 	}
 	return m, nil
 }

@@ -164,6 +164,12 @@ func appendCfgKey(b *strings.Builder, c sim.Config) {
 	b.WriteString(c.VWBPolicy.String())
 	b.WriteString("_tc")
 	b.WriteString(strconv.FormatInt(c.VWBTransfer, 10))
+	b.WriteString("_bp")
+	b.WriteString(strconv.Itoa(c.BypassPredEntries))
+	b.WriteString("_sw")
+	b.WriteString(strconv.Itoa(c.SRAMWays))
+	b.WriteString("_sd")
+	b.WriteString(strconv.FormatInt(c.ShutdownInterval, 10))
 	b.WriteString("_il1")
 	b.WriteString(c.IL1Cell.String())
 	b.WriteByte('_')

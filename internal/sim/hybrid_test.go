@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"sttdl1/internal/core"
+	"sttdl1/internal/tech"
+)
+
+// TestBypassDisabledMatchesDirect pins the bypass front-end's
+// degenerate mode: with the predictor disabled it is an exact
+// pass-through, cycle-for-cycle identical to the drop-in (direct)
+// configuration.
+func TestBypassDisabledMatchesDirect(t *testing.T) {
+	k := smallKernel()
+	direct, err := Run(k, DropInSTT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DropInSTT()
+	cfg.FrontEnd = FEBypass
+	cfg.BufferBits = 2048
+	cfg.BypassPredEntries = -1
+	off, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.CPU.Cycles != off.CPU.Cycles {
+		t.Errorf("disabled bypass %d cycles, direct %d — must be identical",
+			off.CPU.Cycles, direct.CPU.Cycles)
+	}
+	if direct.DL1Stats != off.DL1Stats {
+		t.Errorf("DL1 stats diverged: %+v vs %+v", off.DL1Stats, direct.DL1Stats)
+	}
+}
+
+// TestShutdownNeverFiringMatchesBaseline: an interval longer than the
+// run never reaches a decision boundary, so the full-system timing is
+// identical to the mechanism being off.
+func TestShutdownNeverFiringMatchesBaseline(t *testing.T) {
+	k := smallKernel()
+	base, err := Run(k, DropInSTT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DropInSTT()
+	cfg.ShutdownInterval = 1 << 40
+	huge, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CPU.Cycles != huge.CPU.Cycles {
+		t.Errorf("never-firing shutdown %d cycles, baseline %d — must be identical",
+			huge.CPU.Cycles, base.CPU.Cycles)
+	}
+	if huge.DL1WayOffCycles != 0 {
+		t.Errorf("no way ever gated, yet DL1WayOffCycles = %d", huge.DL1WayOffCycles)
+	}
+}
+
+// TestLatencyHidingMechanismsCheckedClean runs each latency-hiding
+// mechanism — and all three stacked — under the timing-contract oracle;
+// any causality, monotonicity or shadow-state violation fails the run.
+func TestLatencyHidingMechanismsCheckedClean(t *testing.T) {
+	k := smallKernel()
+	mk := func(mut func(*Config)) Config {
+		cfg := DropInSTT()
+		cfg.Check = true
+		mut(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"bypass", mk(func(c *Config) { c.FrontEnd = FEBypass; c.BufferBits = 2048 })},
+		{"sram-way", mk(func(c *Config) { c.SRAMWays = 1 })},
+		{"shutdown", mk(func(c *Config) { c.ShutdownInterval = 4096 })},
+		{"all-three", mk(func(c *Config) {
+			c.FrontEnd = FEBypass
+			c.BufferBits = 2048
+			c.SRAMWays = 1
+			c.ShutdownInterval = 4096
+		})},
+	}
+	for _, tc := range cases {
+		if _, err := Run(k, tc.cfg); err != nil {
+			t.Errorf("%s: checked run failed: %v", tc.name, err)
+		}
+	}
+}
+
+func TestHybridCountersPlumbed(t *testing.T) {
+	k := smallKernel()
+	cfg := DropInSTT()
+	cfg.SRAMWays = 1
+	res, err := Run(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DL1SRAMReads == 0 && res.DL1SRAMWrites == 0 {
+		t.Error("hybrid run recorded no SRAM-partition operations")
+	}
+}
+
+func TestHybridConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.DL1Cell = tech.SRAM6T; c.SRAMWays = 1 }, // hybrid needs an NVM array
+		func(c *Config) { c.SRAMWays = DL1Assoc + 1 },
+		func(c *Config) { c.SRAMWays = -1 },
+		func(c *Config) { c.ShutdownInterval = -8 },
+	}
+	for i, mutate := range bad {
+		cfg := DropInSTT()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestBypassFrontEndSelected(t *testing.T) {
+	cfg := DropInSTT()
+	cfg.FrontEnd = FEBypass
+	cfg.BufferBits = 2048
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.FE.(*core.Bypass); !ok {
+		t.Errorf("front end is %T, want *core.Bypass", sys.FE)
+	}
+	if FEBypass.String() != "bypass" {
+		t.Errorf("FEBypass.String() = %q", FEBypass.String())
+	}
+}

@@ -27,9 +27,10 @@ const (
 	FEVWB                        // the paper's Very Wide Buffer
 	FEL0                         // Fig. 8 comparison: small L0 cache
 	FEEMSHR                      // Fig. 8 comparison: enhanced MSHR
+	FEBypass                     // prediction-driven NVM read-bypass (Kokolis-style)
 )
 
-var feNames = [...]string{"direct", "vwb", "l0", "emshr"}
+var feNames = [...]string{"direct", "vwb", "l0", "emshr", "bypass"}
 
 func (k FrontEndKind) String() string {
 	if int(k) < len(feNames) {
@@ -74,6 +75,26 @@ type Config struct {
 	// VWBTransfer overrides the VWB row-transfer delay in cycles
 	// (0 = default 1; words stream into the row in access order).
 	VWBTransfer int64
+
+	// BypassPredEntries sizes the FEBypass stride predictor's stream
+	// table (0 = default 16; negative disables prediction, making the
+	// front-end an exact pass-through — the metamorphic baseline).
+	BypassPredEntries int
+
+	// SRAMWays makes the NVM DL1 a Khoshavi-style hybrid: the first
+	// SRAMWays ways of each set are built from SRAM cells (fast, own
+	// pipelined bank clocks) with read-class fill steering into them;
+	// the rest keep the configured NVM technology. Requires an NVM
+	// DL1Cell; 0 (the default) is the homogeneous array.
+	SRAMWays int
+
+	// ShutdownInterval, when positive, enables Mittal-style dynamic way
+	// shutdown of the DL1's cold NVM ways: every interval (in cycles) a
+	// way with no activity is flushed and power-gated, and capacity
+	// pressure wakes the gated ways. Gated way-cycles are credited
+	// against the DL1's leakage by internal/energy. Requires an NVM
+	// DL1Cell; 0 disables.
+	ShutdownInterval int64
 
 	// ColdStart skips the warm-up pass: by default a run executes the
 	// kernel once to warm the hierarchy, resets all clocks and counters
@@ -238,6 +259,26 @@ func New(cfg Config) (*System, error) {
 	if cfg.DL1Cell == tech.SRAM6T {
 		dl1Cfg.ReadInterval, dl1Cfg.WriteInterval = 1, 1
 	}
+	if cfg.SRAMWays != 0 || cfg.ShutdownInterval != 0 {
+		// Hybrid partitioning and way shutdown are defined against an
+		// NVM array (the SRAM partition's latencies come from the SRAM
+		// technology model; shutdown's leakage credit prices NVM ways).
+		if cfg.DL1Cell == tech.SRAM6T {
+			return nil, fmt.Errorf("sim: SRAMWays/ShutdownInterval require an NVM DL1 cell")
+		}
+		if cfg.SRAMWays < 0 || cfg.SRAMWays > DL1Assoc {
+			return nil, fmt.Errorf("sim: SRAMWays %d outside [0, %d]", cfg.SRAMWays, DL1Assoc)
+		}
+		if cfg.ShutdownInterval < 0 {
+			return nil, fmt.Errorf("sim: ShutdownInterval must be non-negative")
+		}
+		dl1Cfg.SRAMWays = cfg.SRAMWays
+		dl1Cfg.ShutdownInterval = cfg.ShutdownInterval
+		if cfg.SRAMWays > 0 {
+			sm := tech.MustCompute(tech.DefaultArray(tech.SRAM6T))
+			dl1Cfg.SRAMReadLat, dl1Cfg.SRAMWriteLat = sm.CyclesAt(cfg.FreqGHz)
+		}
+	}
 	dl1 := cache.New(dl1Cfg, l2Port)
 	dl1Port := wrap("DL1", dl1)
 
@@ -258,6 +299,12 @@ func New(cfg Config) (*System, error) {
 		fe = core.NewL0(core.L0Config{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1Port)
 	case FEEMSHR:
 		fe = core.NewEMSHR(core.EMSHRConfig{SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1, BeatBytes: 32}, dl1Port)
+	case FEBypass:
+		fe = core.NewBypass(core.BypassConfig{
+			SizeBits: cfg.BufferBits, LineSize: line, HitLat: 1,
+			TransferCycles: 1, PredEntries: cfg.BypassPredEntries,
+			Policy: cfg.VWBPolicy,
+		}, dl1Port)
 	default:
 		return nil, fmt.Errorf("sim: unknown front-end %v", cfg.FrontEnd)
 	}
@@ -274,6 +321,12 @@ type RunResult struct {
 
 	FEStats, DL1Stats, L2Stats, IL1Stats mem.Stats
 	DL1BankConflictCycles                int64
+
+	// Hybrid/shutdown accounting for internal/energy: array operations
+	// served by the DL1's SRAM partition, and gated way-cycles as of
+	// the end of the measured pass.
+	DL1SRAMReads, DL1SRAMWrites uint64
+	DL1WayOffCycles             int64
 }
 
 // ResetTiming clears every component's clocks and counters while keeping
@@ -335,6 +388,9 @@ func (s *System) runOnce(ck *compile.Compiled) (*RunResult, error) {
 		L2Stats:               s.L2.Stats(),
 		IL1Stats:              s.IL1.Stats(),
 		DL1BankConflictCycles: s.DL1.BankConflictCycles,
+		DL1SRAMReads:          s.DL1.SRAMReads,
+		DL1SRAMWrites:         s.DL1.SRAMWrites,
+		DL1WayOffCycles:       s.DL1.OffCyclesAt(res.Cycles),
 	}, nil
 }
 
@@ -419,6 +475,9 @@ func (s *System) replayOnceCtl(ck *compile.Compiled, tr *cpu.Trace, ctl *ReplayC
 		L2Stats:               s.L2.Stats(),
 		IL1Stats:              s.IL1.Stats(),
 		DL1BankConflictCycles: s.DL1.BankConflictCycles,
+		DL1SRAMReads:          s.DL1.SRAMReads,
+		DL1SRAMWrites:         s.DL1.SRAMWrites,
+		DL1WayOffCycles:       s.DL1.OffCyclesAt(res.Cycles),
 	}, aborted, nil
 }
 

@@ -29,3 +29,11 @@ cmp "$tmp_on" "$tmp_off"
 go run ./cmd/sttexplore dse -space smoke -search guided -budget 6 -seed 1 -bench atax,gemver -j 1 >"$tmp_on"
 go run ./cmd/sttexplore dse -space smoke -search guided -budget 6 -seed 1 -bench atax,gemver -j 8 >"$tmp_off"
 cmp "$tmp_on" "$tmp_off"
+
+# Latency-hiding mechanisms (DESIGN.md §7.6): the hybrid space — bypass
+# front end × SRAM way partitioning × way shutdown — under the oracle,
+# and replay equivalence for a bypass-enabled configuration.
+go run ./cmd/sttexplore dse -check -space hybrid -bench atax,gemver >/dev/null
+go run ./cmd/sttexplore bench -cfg bypass -check -replay on atax >"$tmp_on"
+go run ./cmd/sttexplore bench -cfg bypass -check -replay off atax >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
