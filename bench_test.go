@@ -22,6 +22,7 @@ import (
 	"sttdl1/internal/polybench"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
+	"sttdl1/internal/store"
 	"sttdl1/internal/tech"
 )
 
@@ -301,6 +302,49 @@ func BenchmarkDSEProposalSweep(b *testing.B) {
 	}
 	b.Run("live", func(b *testing.B) { run(b, false) })
 	b.Run("replay", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkStoreSweep measures the persistent evaluation store's two
+// temperatures on the smoke sweep (DESIGN.md §7.7): "cold" simulates
+// every point into a fresh store directory; "warm" serves the identical
+// evaluation entirely from the store the cold pass populated, never
+// running the timing model. The cold/warm ns/op ratio is the store's
+// speedup, and the -benchmem numbers are what scripts/bench.sh records
+// in BENCH_sweep.json.
+func BenchmarkStoreSweep(b *testing.B) {
+	sp, ok := dse.ByName("smoke")
+	if !ok {
+		b.Fatal("smoke space not registered")
+	}
+	benches := suiteMatrixBenches()
+	sweep := func(b *testing.B, dir string) {
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := experiments.NewSuiteJobs(benches, 8)
+		s.SetStore(st)
+		ev, err := dse.Evaluate(s, benches, sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ev.Points) == 0 {
+			b.Fatal("empty evaluation")
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, b.TempDir())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		sweep(b, dir) // populate once; every timed pass hits
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, dir)
+		}
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated

@@ -5,9 +5,9 @@
 // Usage:
 //
 //	sttexplore list
-//	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
-//	sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
-//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr|bypass|hybrid] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
+//	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] [-replay on|off] [-store DIR] <id>|all|paper
+//	sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
+//	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr|bypass|hybrid] [-opt] [-n size] [-v] [-check] [-replay on|off] [-store DIR] <kernel>
 //
 // All three commands take -cpuprofile/-memprofile to write pprof
 // profiles (see EXPERIMENTS.md "Profiling").
@@ -44,9 +44,9 @@ import (
 	"sttdl1/internal/energy"
 	"sttdl1/internal/experiments"
 	"sttdl1/internal/polybench"
-	"sttdl1/internal/replay"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
+	"sttdl1/internal/store"
 )
 
 func main() {
@@ -87,9 +87,9 @@ func usage() { fmt.Fprintln(os.Stderr, usageText()) }
 func usageText() string {
 	return fmt.Sprintf(`usage:
   sttexplore list
-  sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] [-replay on|off] <id>|all|paper
-  sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off]
-  sttexplore bench [-cfg %s] [-opt] [-n size] [-v] [-check] [-replay on|off] <kernel>
+  sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] [-replay on|off] [-store DIR] <id>|all|paper
+  sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
+  sttexplore bench [-cfg %s] [-opt] [-n size] [-v] [-check] [-replay on|off] [-store DIR] <kernel>
 
 run flags:
   -j N    run up to N simulations in parallel (0 = GOMAXPROCS);
@@ -103,6 +103,14 @@ run flags:
           trace replay (default on): functionally execute each kernel
           once, re-run only the timing model per configuration; results
           are byte-identical to live execution
+  -store DIR
+          persistent evaluation store (all commands; default off): every
+          finished simulation's counters are cached on disk, addressed
+          by the content of the evaluation (trace bytes + canonical
+          configuration + energy-model parameters + schema version); a
+          warm hit skips the timing model entirely. Results are
+          byte-identical with or without it. Safe to share between
+          concurrent processes.
   -cpuprofile/-memprofile FILE
           write pprof profiles (all commands)
 
@@ -119,7 +127,13 @@ dse flags:
           bit-identical output at any -j
   -top N  keep only the N lowest-penalty rows of the frontier table
   -csv    dump every evaluated point (objectives, dominance rank) as CSV
-  -j/-v/-bench/-check as for run
+  -shard i/n
+          simulate only the points whose enumeration index ≡ i (mod n)
+          into the store (exhaustive + -store only; prints a summary, no
+          frontier). n processes with shards 0/n..n-1/n cover the space;
+          a follow-up run without -shard stitches the full evaluation
+          from the warm store, byte-identical to a single-process sweep
+  -j/-v/-bench/-check/-store as for run
 
 bench flags:
   -cfg    named configuration: %s
@@ -236,6 +250,27 @@ func replayFlag(fs *flag.FlagSet) func() (bool, error) {
 	}
 }
 
+// storeFlag registers -store on a command's flag set and returns an
+// opener for the persistent evaluation store (nil store when the flag
+// is unset).
+func storeFlag(fs *flag.FlagSet) func() (*store.Store, error) {
+	dir := fs.String("store", "", "persistent evaluation store directory (default off); warm hits skip the timing model, results are byte-identical either way")
+	return func() (*store.Store, error) {
+		if *dir == "" {
+			return nil, nil
+		}
+		return store.Open(*dir)
+	}
+}
+
+// reportStore prints the store's counter summary to stderr after a run
+// with an attached store.
+func reportStore(suite *experiments.Suite, st *store.Store) {
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "store: %s\n", suite.StoreStats())
+	}
+}
+
 func cmdList() error {
 	fmt.Println("experiments:")
 	for _, r := range experiments.Registry() {
@@ -277,6 +312,7 @@ type runFlagVals struct {
 	jobs       *int
 	checked    *bool
 	replayMode func() (bool, error)
+	storeOpen  func() (*store.Store, error)
 	profile    func() (func() error, error)
 }
 
@@ -290,6 +326,7 @@ func newRunFlagSet() (*flag.FlagSet, *runFlagVals) {
 		checked:   fs.Bool("check", false, "run every simulation under the timing-contract oracle"),
 	}
 	v.replayMode = replayFlag(fs)
+	v.storeOpen = storeFlag(fs)
 	v.profile = profileFlags(fs)
 	return fs, v
 }
@@ -301,6 +338,7 @@ type dseFlagVals struct {
 	searchMode *string
 	budget     *int
 	seed       *int64
+	shard      *string
 }
 
 func newDseFlagSet() (*flag.FlagSet, *dseFlagVals) {
@@ -311,6 +349,7 @@ func newDseFlagSet() (*flag.FlagSet, *dseFlagVals) {
 		searchMode: fs.String("search", "exhaustive", "exploration strategy: exhaustive, or guided (frontier-guided metaheuristic with a full-evaluation budget)"),
 		budget:     fs.Int("budget", 64, "guided search: full-suite evaluation budget"),
 		seed:       fs.Int64("seed", 1, "guided search: proposal RNG seed (printed in the report header)"),
+		shard:      fs.String("shard", "", "simulate only shard i/n of the space into the store (exhaustive + -store only)"),
 	}
 	v.benchList = fs.String("bench", "", "comma-separated benchmark subset (default: all)")
 	v.verbose = fs.Bool("v", false, "log each simulation")
@@ -318,6 +357,7 @@ func newDseFlagSet() (*flag.FlagSet, *dseFlagVals) {
 	v.jobs = fs.Int("j", 0, "parallel simulations (0 = GOMAXPROCS); output is identical at any -j")
 	v.checked = fs.Bool("check", false, "run every simulation under the timing-contract oracle")
 	v.replayMode = replayFlag(fs)
+	v.storeOpen = storeFlag(fs)
 	v.profile = profileFlags(fs)
 	return fs, v
 }
@@ -329,6 +369,7 @@ type benchFlagVals struct {
 	verbose    *bool
 	checked    *bool
 	replayMode func() (bool, error)
+	storeOpen  func() (*store.Store, error)
 	profile    func() (func() error, error)
 }
 
@@ -342,6 +383,7 @@ func newBenchFlagSet() (*flag.FlagSet, *benchFlagVals) {
 		checked: fs.Bool("check", false, "run under the timing-contract oracle"),
 	}
 	v.replayMode = replayFlag(fs)
+	v.storeOpen = storeFlag(fs)
 	v.profile = profileFlags(fs)
 	return fs, v
 }
@@ -384,9 +426,14 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	st, err := v.storeOpen()
+	if err != nil {
+		return err
+	}
 	suite := experiments.NewSuiteJobs(benches, *jobs)
 	suite.SetCheck(*checked)
 	suite.SetReplay(useReplay)
+	suite.SetStore(st)
 	var counters stats.Counters
 	progress := newProgressLine(os.Stderr, *verbose)
 	suite.SetProgress(func(ev stats.RunEvent) {
@@ -426,6 +473,7 @@ func cmdRun(args []string) error {
 			fmt.Println(results[i].String())
 		}
 	}
+	reportStore(suite, st)
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "engine: %s over %d worker(s), wall %s\n",
 			counters.Summary(), suite.Jobs(), time.Since(start).Round(time.Millisecond))
@@ -470,10 +518,27 @@ func cmdDse(args []string) error {
 	if err != nil {
 		return err
 	}
+	sh, err := dse.ParseShard(*v.shard)
+	if err != nil {
+		return err
+	}
+	st, err := v.storeOpen()
+	if err != nil {
+		return err
+	}
+	if sh.Enabled() {
+		if *searchMode != "exhaustive" {
+			return fmt.Errorf("-shard needs -search exhaustive (got %q): guided search is sequential by nature", *searchMode)
+		}
+		if st == nil {
+			return fmt.Errorf("-shard needs -store: shards coordinate only through the persistent store")
+		}
+	}
 
 	suite := experiments.NewSuiteJobs(benches, *jobs)
 	suite.SetCheck(*checked)
 	suite.SetReplay(useReplay)
+	suite.SetStore(st)
 	var counters stats.Counters
 	progress := newProgressLine(os.Stderr, *verbose)
 	suite.SetProgress(func(ev stats.RunEvent) {
@@ -484,6 +549,15 @@ func cmdDse(args []string) error {
 	start := time.Now()
 	switch *searchMode {
 	case "exhaustive":
+		if sh.Enabled() {
+			res, err := dse.EvaluateShard(suite, benches, sp, sh)
+			progress.clear()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			break
+		}
 		ev, err := dse.Evaluate(suite, benches, sp)
 		progress.clear()
 		if err != nil {
@@ -519,6 +593,7 @@ func cmdDse(args []string) error {
 	default:
 		return fmt.Errorf("-search must be exhaustive or guided (got %q)", *searchMode)
 	}
+	reportStore(suite, st)
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "engine: %s over %d worker(s), wall %s\n",
 			counters.Summary(), suite.Jobs(), time.Since(start).Round(time.Millisecond))
@@ -622,16 +697,22 @@ func cmdBench(args []string) error {
 	if *size > 0 {
 		n = *size
 	}
-	var res *sim.RunResult
-	if useReplay {
-		b.Default = n // Kernel() and the trace-cache key follow the size
-		res, err = replay.Run(context.Background(), replay.NewCache(), b, cfg)
-	} else {
-		res, err = sim.Run(b.Build(n), cfg)
-	}
+	b.Default = n // Kernel() and every cache key follow the size
+	st, err := v.storeOpen()
 	if err != nil {
 		return err
 	}
+	// One-simulation suite: the engine plumbing exists purely so the
+	// persistent store tier (and its replay/live selection) behaves
+	// exactly as in run/dse.
+	suite := experiments.NewSuiteJobs([]polybench.Bench{b}, 1)
+	suite.SetReplay(useReplay)
+	suite.SetStore(st)
+	res, err := suite.Run(b, cfg)
+	if err != nil {
+		return err
+	}
+	reportStore(suite, st)
 	c := res.CPU
 	fmt.Printf("%s (n=%d) on %s\n", b.Name, n, cfg.Name)
 	if *verbose {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// buildCLI compiles the sttexplore binary into a test temp dir; the
+// sharded-sweep test needs real separate processes (the whole point is
+// cross-process coordination through the store directory).
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sttexplore")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runCLI runs the binary and returns stdout; stderr rides along only in
+// the failure message (progress and store stats go there by design).
+func runCLI(t *testing.T, bin string, args ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr:\n%s", bin, args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// TestShardedSweepStitchesByteIdentical is the multi-process
+// acceptance test: two concurrent OS processes each simulate one shard
+// of a sweep into a shared store directory, coordinating through
+// nothing else; a third (stitch) process then assembles the full
+// evaluation from the warm store. Its CSV must be byte-identical to a
+// plain single-process parallel sweep that never saw a store.
+func TestShardedSweepStitchesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI four times")
+	}
+	bin := buildCLI(t)
+	storeDir := t.TempDir()
+	sweep := []string{"dse", "-space", "smoke", "-bench", "atax,gesummv"}
+
+	ref := runCLI(t, bin, append(append([]string{}, sweep...), "-j", "8", "-csv")...)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	outs := make([][]byte, 2)
+	for i, shard := range []string{"0/2", "1/2"} {
+		wg.Add(1)
+		go func(i int, shard string) {
+			defer wg.Done()
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(bin, append(append([]string{}, sweep...),
+				"-j", "4", "-store", storeDir, "-shard", shard)...)
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Errorf("shard %s: %v\nstderr:\n%s", shard, err, stderr.String())
+				errs[i] = err
+			}
+			outs[i] = stdout.Bytes()
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.FailNow()
+		}
+	}
+	for i, out := range outs {
+		if !bytes.Contains(out, []byte("shard")) {
+			t.Errorf("shard process %d printed no summary: %q", i, out)
+		}
+	}
+
+	stitch := runCLI(t, bin, append(append([]string{}, sweep...),
+		"-j", "8", "-csv", "-store", storeDir)...)
+	if !bytes.Equal(stitch, ref) {
+		t.Errorf("stitched sweep differs from single-process sweep:\n--- single\n%s\n--- stitched\n%s", ref, stitch)
+	}
+
+	// And the stitch run left a fully-warm store behind: a repeat run
+	// must also be byte-identical (and is the ≥10x warm path check.sh
+	// and bench.sh time).
+	warm := runCLI(t, bin, append(append([]string{}, sweep...),
+		"-j", "8", "-csv", "-store", storeDir)...)
+	if !bytes.Equal(warm, ref) {
+		t.Error("warm repeat sweep differs from single-process sweep")
+	}
+}
+
+// TestShardFlagValidation pins the CLI-level guard rails: sharding
+// requires the store (processes coordinate through nothing else) and
+// the exhaustive strategy.
+func TestShardFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{"dse", "-space", "smoke", "-shard", "0/2"},
+		{"dse", "-space", "smoke", "-shard", "0/2", "-store", t.TempDir(), "-search", "guided"},
+		{"dse", "-space", "smoke", "-shard", "2/2", "-store", t.TempDir()},
+	} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("%v: expected a usage error, command succeeded", args)
+		}
+	}
+}

@@ -3,12 +3,10 @@ package dse
 import (
 	"fmt"
 
-	"sttdl1/internal/cpu"
 	"sttdl1/internal/energy"
 	"sttdl1/internal/polybench"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
-	"sttdl1/internal/tech"
 )
 
 // Engine is the slice of the experiment suite the exploration engine
@@ -185,45 +183,9 @@ func IsProposal(cfg sim.Config) bool {
 // normalize resolves a configuration's defaulted knobs to their
 // effective values and strips fields that don't change the simulated
 // design (Name, Check), so two configs compare equal exactly when they
-// key the same simulation.
-func normalize(cfg sim.Config) sim.Config {
-	cfg.Name = ""
-	cfg.Check = false
-	if cfg.DL1Banks <= 0 {
-		cfg.DL1Banks = 4
-	}
-	if cfg.BufferBits <= 0 {
-		cfg.BufferBits = 2048
-	}
-	if cfg.FreqGHz <= 0 {
-		cfg.FreqGHz = 1.0
-	}
-	if cfg.CPU.IssueWidth == 0 {
-		cfg.CPU = cpu.DefaultConfig()
-	}
-	if m, err := tech.Compute(tech.DefaultArray(cfg.DL1Cell)); err == nil {
-		rd, wr := m.CyclesAt(cfg.FreqGHz)
-		if cfg.DL1ReadLat <= 0 {
-			cfg.DL1ReadLat = rd
-		}
-		if cfg.DL1WriteLat <= 0 {
-			cfg.DL1WriteLat = wr
-		}
-	}
-	if cfg.VWBTransfer <= 0 {
-		cfg.VWBTransfer = 1
-	}
-	// The predictor size only exists behind the bypass front-end; on any
-	// other design it is dead state and must not split equality classes.
-	if cfg.FrontEnd != sim.FEBypass {
-		cfg.BypassPredEntries = 0
-	} else if cfg.BypassPredEntries == 0 {
-		cfg.BypassPredEntries = 16
-	}
-	// SRAMWays and ShutdownInterval default to 0 (= homogeneous,
-	// always-on), which is already their zero value — nothing to resolve.
-	return cfg
-}
+// key the same simulation. The resolution lives in sim.Canonical — one
+// canonical form shared with the persistent store's content addressing.
+func normalize(cfg sim.Config) sim.Config { return sim.Canonical(cfg) }
 
 func benchNames(benches []polybench.Bench) []string {
 	out := make([]string, len(benches))

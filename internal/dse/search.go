@@ -47,6 +47,15 @@ type CtlEngine interface {
 	ReplayCtl(b polybench.Bench, cfg sim.Config, ctl *sim.ReplayCtl) (*sim.RunResult, bool, error)
 }
 
+// storedChecker is the optional engine capability the search's warm
+// start probes: whether a (benchmark, configuration) full-suite result
+// is already present in the engine's persistent evaluation store
+// (internal/store). *experiments.Suite implements it when a store is
+// attached.
+type storedChecker interface {
+	Stored(b polybench.Bench, cfg sim.Config) bool
+}
+
 // RungSpec configures the halving ladder's cheap rung: score each
 // candidate on a prefix of the benchmark suite, with every measured
 // replay truncated to a fixed record count. Rung scores are heuristic —
@@ -440,20 +449,39 @@ func (g *guided) frontierVectors() [][]float64 {
 // prefetch warms the memo with everything the generation's full
 // evaluations consume through the memoized path: every promoted
 // candidate's baseline always, and the candidate configurations
-// themselves when early abort is off (with abort on, candidate runs go
-// through the non-memoized abortable replay instead).
+// themselves when they will take the memoized score path — early abort
+// off, or the candidate fully present in the persistent store (with
+// abort on, the remaining candidate runs go through the non-memoized
+// abortable replay instead).
 func (g *guided) prefetch(cands []candidate, prom []int) error {
 	var cfgs []sim.Config
 	for _, pi := range prom {
-		cfgs = append(cfgs, g.sp.BaselineFor(cands[pi].pt.Config))
-		if g.opts.DisableAbort {
-			cfgs = append(cfgs, cands[pi].pt.Config)
+		cfg := cands[pi].pt.Config
+		cfgs = append(cfgs, g.sp.BaselineFor(cfg))
+		if g.opts.DisableAbort || g.stored(cfg) {
+			cfgs = append(cfgs, cfg)
 		}
 	}
 	if len(cfgs) == 0 {
 		return nil
 	}
 	return g.eng.Prefetch(g.benches, cfgs...)
+}
+
+// stored reports whether every benchmark's full-suite result for cfg is
+// already in the engine's persistent evaluation store, so the memoized
+// path will serve the whole evaluation from disk.
+func (g *guided) stored(cfg sim.Config) bool {
+	sc, ok := g.eng.(storedChecker)
+	if !ok {
+		return false
+	}
+	for _, b := range g.benches {
+		if !sc.Stored(b, cfg) {
+			return false
+		}
+	}
+	return true
 }
 
 // fullEval scores one promoted candidate over the full suite. With
@@ -470,7 +498,15 @@ func (g *guided) fullEval(pt Point, snapshot [][]float64) (Objectives, bool, err
 	if err != nil {
 		return Objectives{}, false, err
 	}
-	if g.opts.DisableAbort || len(snapshot) == 0 {
+	// Warm start: when every benchmark's full result for this candidate
+	// is already in the persistent store, the memoized score path serves
+	// the evaluation without ever running the timing model — strictly
+	// cheaper than abortable replay. Per candidate this is the same
+	// switch as DisableAbort: the frontier is identical either way (an
+	// aborted candidate is provably dominated and could never have
+	// joined it), only the set of dominated points reaching the archive
+	// can grow.
+	if g.opts.DisableAbort || len(snapshot) == 0 || g.stored(cfg) {
 		obj, err := score(g.eng, g.benches, cfg, base)
 		return obj, false, err
 	}

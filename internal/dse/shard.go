@@ -1,0 +1,136 @@
+package dse
+
+// Multi-process sharded sweeps (DESIGN.md §7.7): a shard is a
+// deterministic 1-in-N slice of a space's pruned enumeration order, so
+// N concurrent processes — coordinating through nothing but the shared
+// persistent evaluation store — together simulate the whole space, and
+// a subsequent stitch run (the same sweep without -shard) assembles the
+// full frontier from cached records, byte-identical to a single-process
+// sweep.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+)
+
+// Shard selects the points whose enumeration index ≡ Index (mod Count).
+// The zero value (Count 0) means "no sharding: every point".
+type Shard struct {
+	Index, Count int
+}
+
+// Enabled reports whether the shard actually partitions.
+func (sh Shard) Enabled() bool { return sh.Count > 0 }
+
+// String renders the shard the way ParseShard reads it.
+func (sh Shard) String() string { return fmt.Sprintf("%d/%d", sh.Index, sh.Count) }
+
+// ParseShard parses "i/n" (0 <= i < n). The empty string is the
+// disabled shard.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("dse: shard %q is not of the form i/n", s)
+	}
+	idx, err := strconv.Atoi(i)
+	if err != nil {
+		return Shard{}, fmt.Errorf("dse: shard index %q: %w", i, err)
+	}
+	cnt, err := strconv.Atoi(n)
+	if err != nil {
+		return Shard{}, fmt.Errorf("dse: shard count %q: %w", n, err)
+	}
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return Shard{}, fmt.Errorf("dse: shard %d/%d out of range (need 0 <= i < n)", idx, cnt)
+	}
+	return Shard{Index: idx, Count: cnt}, nil
+}
+
+// Points returns the slice of pts the shard owns: enumeration index
+// modulo Count. Enumeration order is a pure function of the space
+// definition, so every process partitions identically.
+func (sh Shard) Points(pts []Point) []Point {
+	if !sh.Enabled() {
+		return pts
+	}
+	var out []Point
+	for _, p := range pts {
+		if p.Index%sh.Count == sh.Index {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ShardResult is the accounting of one shard pass.
+type ShardResult struct {
+	Space string
+	Shard Shard
+	// Points is the number of design points this shard simulated;
+	// SpacePoints the space's full pruned count.
+	Points, SpacePoints int
+	Benches             int
+}
+
+// EvaluateShard simulates this shard's slice of the space — each owned
+// point's configuration and its penalty baseline, over every benchmark
+// — through the engine, without scoring or ranking: its entire purpose
+// is populating the engine's cache tiers (above all the persistent
+// store) so a stitch run assembles the full evaluation from warm
+// entries. Shards overlap only on shared baselines, which every process
+// stores byte-identically (determinism makes last-writer-wins a no-op).
+func EvaluateShard(eng Engine, benches []polybench.Bench, sp Space, sh Shard) (*ShardResult, error) {
+	if !sh.Enabled() {
+		return nil, fmt.Errorf("dse: EvaluateShard needs an enabled shard")
+	}
+	if benches == nil {
+		benches = polybench.All()
+	}
+	all := sp.Enumerate()
+	if len(all) == 0 {
+		return nil, fmt.Errorf("dse: space %q enumerates no points", sp.Name)
+	}
+	pts := sh.Points(all)
+	cfgs := make([]sim.Config, 0, 2*len(pts))
+	for _, pt := range pts {
+		cfgs = append(cfgs, pt.Config, sp.BaselineFor(pt.Config))
+	}
+	// The shared SRAM reference is part of the stitch run's evaluation;
+	// shard 0 owns it so the stitch misses nothing.
+	if sh.Index == 0 {
+		base0 := sp.BaselineFor(all[0].Config)
+		shared := true
+		for _, pt := range all {
+			if sp.BaselineFor(pt.Config) != base0 {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			cfgs = append(cfgs, base0)
+		}
+	}
+	if len(cfgs) > 0 {
+		if err := eng.Prefetch(benches, cfgs...); err != nil {
+			return nil, fmt.Errorf("dse: %s shard %s: %w", sp.Name, sh, err)
+		}
+	}
+	return &ShardResult{
+		Space: sp.Name, Shard: sh,
+		Points: len(pts), SpacePoints: len(all),
+		Benches: len(benches),
+	}, nil
+}
+
+// String renders the shard pass summary line the CLI prints.
+func (r *ShardResult) String() string {
+	return fmt.Sprintf("dse-%s shard %s: simulated %d of %d design point(s) over %d benchmark(s)",
+		r.Space, r.Shard, r.Points, r.SpacePoints, r.Benches)
+}

@@ -1,0 +1,71 @@
+package dse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"":    {},
+		"0/1": {Index: 0, Count: 1},
+		"0/2": {Index: 0, Count: 2},
+		"1/2": {Index: 1, Count: 2},
+		"7/8": {Index: 7, Count: 8},
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"2/2", "-1/2", "1/0", "1/-3", "a/b", "1", "1/2/3", "/2", "1/"} {
+		if _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) accepted invalid input", in)
+		}
+	}
+	if (Shard{}).Enabled() {
+		t.Error("zero shard reports enabled")
+	}
+	if got := (Shard{Index: 1, Count: 4}).String(); got != "1/4" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestShardsPartitionExactly pins the coordination-free contract: for
+// any shard count, the shards of a space's enumeration are disjoint and
+// their union is exactly the full enumeration, independent of which
+// process computes them (pure function of the space definition).
+func TestShardsPartitionExactly(t *testing.T) {
+	sp, ok := ByName("smoke")
+	if !ok {
+		t.Fatal("smoke space not registered")
+	}
+	pts := sp.Enumerate()
+	prop := func(n uint8) bool {
+		count := 1 + int(n)%8
+		seen := make(map[int]int) // point index -> owning shard
+		total := 0
+		for i := 0; i < count; i++ {
+			for _, p := range (Shard{Index: i, Count: count}).Points(pts) {
+				if _, dup := seen[p.Index]; dup {
+					return false // two shards own one point
+				}
+				seen[p.Index] = i
+				total++
+			}
+		}
+		if total != len(pts) {
+			return false // union misses points
+		}
+		for _, p := range pts {
+			if seen[p.Index] != p.Index%count {
+				return false // ownership is not the documented function
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Warm-start contract of the guided search over the persistent store
+// (DESIGN.md §7.7): re-running a search against a store populated by a
+// previous identical run serves the archive's completed evaluations
+// from disk and reproduces the identical Pareto frontier. External
+// package for the same reason as dse_test.go.
+package dse_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sttdl1/internal/dse"
+	"sttdl1/internal/experiments"
+	"sttdl1/internal/store"
+)
+
+// frontierSet renders a search result's rank-0 points as a sorted,
+// comparable list of label+objective strings (archive membership of
+// dominated points may legitimately differ between cold and warm runs;
+// the frontier may not).
+func frontierSet(res *dse.SearchResult) []string {
+	var out []string
+	for _, p := range res.Points {
+		if p.Rank == 0 {
+			out = append(out, fmt.Sprintf("%s|%.9g|%.9g|%.9g",
+				p.Point.Label, p.Obj.PenaltyPct, p.Obj.EnergyUJ, p.Obj.AreaMM2))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestGuidedSearchWarmStartsFromStore(t *testing.T) {
+	dir := t.TempDir()
+	benches := twoBenches(t)
+	sp, ok := dse.ByName("mega")
+	if !ok {
+		t.Fatal("mega space not registered")
+	}
+	opts := dse.SearchOptions{Budget: 12, Seed: 7}
+
+	run := func() (*dse.SearchResult, store.Stats) {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite := experiments.NewSuiteJobs(benches, 2)
+		suite.SetStore(st)
+		res, err := dse.Search(suite, benches, sp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st.Stats()
+	}
+
+	cold, coldStats := run()
+	if coldStats.Writes == 0 {
+		t.Fatal("cold search stored nothing")
+	}
+	warm, warmStats := run()
+	if warmStats.Hits == 0 {
+		t.Error("warm search hit the store zero times")
+	}
+	if got, want := frontierSet(warm), frontierSet(cold); !equalStrings(got, want) {
+		t.Errorf("warm-start frontier differs from cold:\n  cold %v\n  warm %v", want, got)
+	}
+	if warm.FullEvals != cold.FullEvals || warm.Generations != cold.Generations {
+		t.Errorf("warm search trajectory diverged: %d/%d full evals, %d/%d generations",
+			warm.FullEvals, cold.FullEvals, warm.Generations, cold.Generations)
+	}
+	// A warm-started candidate takes the memoized path instead of
+	// abortable replay, so aborts can only go down.
+	if warm.Aborted > cold.Aborted {
+		t.Errorf("warm search aborted more (%d) than cold (%d)", warm.Aborted, cold.Aborted)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

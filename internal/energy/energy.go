@@ -13,6 +13,8 @@
 package energy
 
 import (
+	"fmt"
+
 	"sttdl1/internal/sim"
 	"sttdl1/internal/tech"
 )
@@ -245,6 +247,25 @@ func ModelFor(cfg sim.Config) (tech.Model, error) {
 		m.AreaMM2 = m.AreaMM2*(1-fs) + sm.AreaMM2*fs
 	}
 	return m, nil
+}
+
+// ModelKey renders every energy/area model parameter an evaluation of
+// cfg depends on as one deterministic string: the configuration's
+// resolved technology model (ModelFor — latency-override repricing,
+// bank periphery, hybrid blending already folded in), the buffer
+// energy/area constants, and the shutdown leakage credit. The
+// persistent evaluation store (internal/store) folds it into each
+// content address, so any recalibration of the model re-evaluates
+// stored points instead of silently serving counters whose derived
+// objectives moved.
+func ModelKey(cfg sim.Config) (string, error) {
+	m, err := ModelFor(cfg)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("emodel1|rd=%g,wr=%g|leak=%g|area=%g|rpj=%g,wpj=%g|buf=%g,%g,%g,%g|gate=%g",
+		m.ReadNs, m.WriteNs, m.LeakageMW, m.AreaMM2, m.ReadPJ, m.WritePJ,
+		bufRowReadPJ, bufRowMatchPJ, float64(bufFlopF2), camRowAreaOvh, wayGateFrac), nil
 }
 
 // Buffered reports whether cfg places a retained-line buffer (VWB, L0

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sttdl1/internal/energy"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/sim"
+	"sttdl1/internal/stats"
+	"sttdl1/internal/store"
+)
+
+func storeBench(t *testing.T) polybench.Bench {
+	t.Helper()
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("benchmark atax not registered")
+	}
+	b.Default = 24 // keep the simulations cheap
+	return b
+}
+
+// TestSuiteStoreWarmHit drives the full second-tier path: a cold suite
+// populates the store, a fresh suite (fresh in-memory memo) over the
+// same directory serves the identical result from disk — counters,
+// config, derived energy — with the timing model never running, and the
+// progress stream marks the run as cached.
+func TestSuiteStoreWarmHit(t *testing.T) {
+	dir := t.TempDir()
+	b := storeBench(t)
+	cfgs := []sim.Config{sim.BaselineSRAM(), sim.ProposalVWB()}
+
+	cold, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSuiteJobs([]polybench.Bench{b}, 1)
+	s1.SetStore(cold)
+	fresh := make([]*sim.RunResult, len(cfgs))
+	for i, cfg := range cfgs {
+		if fresh[i], err = s1.Run(b, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cold.Stats(); st.Hits != 0 || st.Writes != int64(len(cfgs)) {
+		t.Fatalf("cold run stats = %+v, want 0 hits / %d writes", st, len(cfgs))
+	}
+
+	warm, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSuiteJobs([]polybench.Bench{b}, 1)
+	s2.SetStore(warm)
+	var counters stats.Counters
+	s2.SetProgress(counters.Observe)
+	for i, cfg := range cfgs {
+		r, err := s2.Run(b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := fresh[i]
+		want := *f.CPU
+		want.State = nil
+		if *r.CPU != want {
+			t.Errorf("%s: warm CPU counters differ from fresh run", cfg.Name)
+		}
+		if r.Config != f.Config {
+			t.Errorf("%s: warm result config = %+v, want %+v", cfg.Name, r.Config, f.Config)
+		}
+		if r.DL1Stats != f.DL1Stats || r.FEStats != f.FEStats || r.L2Stats != f.L2Stats {
+			t.Errorf("%s: warm cache stats differ from fresh run", cfg.Name)
+		}
+		m, err := energy.ModelFor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, wantUJ := energy.TotalUJ(r, cfg, m), energy.TotalUJ(f, cfg, m); got != wantUJ {
+			t.Errorf("%s: warm TotalUJ = %v, fresh %v", cfg.Name, got, wantUJ)
+		}
+	}
+	if st := warm.Stats(); st.Hits != int64(len(cfgs)) || st.Misses != 0 || st.Writes != 0 {
+		t.Fatalf("warm run stats = %+v, want %d hits / 0 misses / 0 writes", st, len(cfgs))
+	}
+	if got := counters.Cached(); got != len(cfgs) {
+		t.Errorf("progress saw %d cached events, want %d", got, len(cfgs))
+	}
+	if got := s2.StoreStats().Hits; got != int64(len(cfgs)) {
+		t.Errorf("StoreStats().Hits = %d, want %d", got, len(cfgs))
+	}
+}
+
+// TestSuiteStoreHealsCorruption corrupts every stored entry on disk and
+// re-runs through a fresh suite: the suite must detect, delete,
+// re-evaluate and re-publish — and still produce the identical result.
+func TestSuiteStoreHealsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	b := storeBench(t)
+	cfg := sim.ProposalVWB()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSuiteJobs([]polybench.Bench{b}, 1)
+	s1.SetStore(st1)
+	fresh, err := s1.Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate every entry mid-record — the on-disk shape a kill -9
+	// between write and rename could leave behind a crash-inconsistent
+	// filesystem with.
+	n := 0
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".rec" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		n++
+		return os.WriteFile(path, data[:len(data)/3], 0o666)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("cold run stored no entries")
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSuiteJobs([]polybench.Bench{b}, 1)
+	s2.SetStore(st2)
+	if s2.Stored(b, cfg) {
+		t.Error("Stored() validated a truncated entry")
+	}
+	r, err := s2.Run(b, cfg)
+	if err != nil {
+		t.Fatalf("run over a corrupt store must re-evaluate, got: %v", err)
+	}
+	if r.CPU.Cycles != fresh.CPU.Cycles || r.CPU.Insts != fresh.CPU.Insts {
+		t.Error("re-evaluated result differs from the original")
+	}
+	stats2 := st2.Stats()
+	if stats2.Hits != 0 || stats2.Corrupt == 0 || stats2.Writes == 0 {
+		t.Errorf("healing stats = %+v, want 0 hits, >0 corrupt, >0 writes", stats2)
+	}
+	// Third pass: the repaired entry serves warm.
+	st3, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewSuiteJobs([]polybench.Bench{b}, 1)
+	s3.SetStore(st3)
+	if !s3.Stored(b, cfg) {
+		t.Error("repaired entry not visible to Stored()")
+	}
+	if _, err := s3.Run(b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := st3.Stats().Hits; got != 1 {
+		t.Errorf("post-repair hits = %d, want 1", got)
+	}
+}
+
+// TestSuiteStoreKeysCheckApart pins the Check-flag addressing: a
+// checked run must never be served from an unchecked run's stored
+// entry (the whole point of -check is that the oracle actually runs).
+func TestSuiteStoreKeysCheckApart(t *testing.T) {
+	dir := t.TempDir()
+	b := storeBench(t)
+	cfg := sim.ProposalVWB()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSuiteJobs([]polybench.Bench{b}, 1)
+	s1.SetStore(st1)
+	if _, err := s1.Run(b, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSuiteJobs([]polybench.Bench{b}, 1)
+	s2.SetStore(st2)
+	s2.SetCheck(true)
+	if s2.Stored(b, cfg) {
+		t.Fatal("checked lookup matched an unchecked entry")
+	}
+	if _, err := s2.Run(b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Stats().Hits; got != 0 {
+		t.Errorf("checked run hit an unchecked entry (%d hits)", got)
+	}
+}

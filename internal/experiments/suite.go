@@ -12,11 +12,13 @@ import (
 	"strings"
 
 	"sttdl1/internal/compile"
+	"sttdl1/internal/energy"
 	"sttdl1/internal/polybench"
 	"sttdl1/internal/replay"
 	"sttdl1/internal/runner"
 	"sttdl1/internal/sim"
 	"sttdl1/internal/stats"
+	"sttdl1/internal/store"
 )
 
 // Suite runs kernels on configurations through a shared parallel run
@@ -44,6 +46,13 @@ type Suite struct {
 	replay bool
 	// traces is the shared compile+capture cache behind replay mode.
 	traces *replay.Cache
+	// store is the optional persistent evaluation cache (DESIGN.md
+	// §7.7): a second memo tier behind the in-memory pool, addressed by
+	// the content of the evaluation (trace bytes + canonical config +
+	// model params + schema version). A warm hit skips the entire
+	// timing model; results are byte-identical either way, so the memo
+	// key does not include it.
+	store *store.Store
 }
 
 // NewSuite builds a suite over the given benchmarks (nil = all) with the
@@ -87,11 +96,87 @@ func (s *Suite) SetCheck(on bool) { s.check = on }
 // it before running experiments.
 func (s *Suite) SetReplay(on bool) { s.replay = on }
 
-// execute performs one simulation: trace replay when enabled, with live
-// execution as the fallback on any replay-path error that is not the
-// caller's own cancellation (a functional fault reproduces identically
-// either way, so the fallback's error message is the canonical one).
-func (s *Suite) execute(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
+// SetStore installs a persistent evaluation store as a second memo tier
+// behind the in-memory pool (the sttexplore -store flag; off by
+// default). Results are byte-identical with or without it — a stored
+// record holds the exact counter set a fresh simulation produces — so
+// figures never change; only wall-clock does. Install it before running
+// experiments.
+func (s *Suite) SetStore(st *store.Store) { s.store = st }
+
+// StoreStats returns the persistent store's counters (zero Stats when
+// no store is installed).
+func (s *Suite) StoreStats() store.Stats {
+	if s.store == nil {
+		return store.Stats{}
+	}
+	return s.store.Stats()
+}
+
+// storeKey derives the content address of (b, cfg) under the persistent
+// store: the kernel variant's trace digest (memoized compile + capture,
+// shared with replay), the canonical configuration key, and the energy
+// model parameters. ok is false when the store is off or the
+// configuration has no valid model/trace — those runs simply skip the
+// store tier.
+func (s *Suite) storeKey(ctx context.Context, b polybench.Bench, cfg sim.Config) (store.Key, bool) {
+	if s.store == nil {
+		return store.Key{}, false
+	}
+	modelKey, err := energy.ModelKey(cfg)
+	if err != nil {
+		return store.Key{}, false
+	}
+	digest, err := s.traces.Digest(ctx, b, sim.CompileOptions(cfg))
+	if err != nil {
+		return store.Key{}, false
+	}
+	benchKey := b.Name + "@" + strconv.Itoa(b.Default)
+	return store.KeyFor(benchKey, digest, sim.CanonicalKey(cfg), modelKey), true
+}
+
+// Stored reports whether a valid persistent-store entry exists for
+// (b, cfg) — without simulating, though it may trigger the variant's
+// (memoized) capture to derive the key. The guided search uses it to
+// warm-start: an already-stored point routes through the memoized
+// store-hitting path instead of abortable replay.
+func (s *Suite) Stored(b polybench.Bench, cfg sim.Config) bool {
+	cfg = s.applyCheck(cfg)
+	key, ok := s.storeKey(s.ctx, b, cfg)
+	return ok && s.store.Contains(key)
+}
+
+// execute performs one simulation: the persistent store tier first
+// (when installed), then trace replay when enabled, with live execution
+// as the fallback on any replay-path error that is not the caller's own
+// cancellation (a functional fault reproduces identically either way,
+// so the fallback's error message is the canonical one). The returned
+// bool reports a store hit — the timing model never ran.
+func (s *Suite) execute(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, bool, error) {
+	key, useStore := s.storeKey(ctx, b, cfg)
+	if useStore {
+		if rec, ok := s.store.Get(key); ok {
+			// A fresh run reports the defaults-resolved requested config
+			// (sim.New applies them); mirror that so a hit is
+			// indistinguishable downstream. The record is freshly decoded,
+			// never shared, so the rewrite is safe.
+			rec.Result.Config = sim.ApplyDefaults(cfg)
+			return rec.Result, true, nil
+		}
+	}
+	r, err := s.executeSim(ctx, b, cfg)
+	if err == nil && useStore {
+		// Best-effort publish: a failed write (full disk, permissions)
+		// costs future warmth, never correctness — and failures are never
+		// stored at all.
+		_ = s.store.Put(key, store.NewRecord(b.Name, b.Default, r))
+	}
+	return r, false, err
+}
+
+// executeSim is the simulation behind the store tier: replay-first with
+// live fallback.
+func (s *Suite) executeSim(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
 	if s.replay {
 		r, err := replay.Run(ctx, s.traces, b, cfg)
 		if err == nil || ctx.Err() != nil {
@@ -219,9 +304,14 @@ func (s *Suite) Run(b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
 // not started yet).
 func (s *Suite) RunContext(ctx context.Context, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
 	cfg = s.applyCheck(cfg)
-	r, err := s.pool.DoLabeled(ctx, runKey(b, cfg), runLabel(b, cfg),
+	key := runKey(b, cfg)
+	r, err := s.pool.DoLabeled(ctx, key, runLabel(b, cfg),
 		func(ctx context.Context) (*sim.RunResult, error) {
-			return s.execute(ctx, b, cfg)
+			r, cached, err := s.execute(ctx, b, cfg)
+			if cached {
+				s.pool.NoteCached(key)
+			}
+			return r, err
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, cfg.Name, err)
@@ -280,11 +370,16 @@ func (s *Suite) PrefetchSpecs(specs []Spec) error {
 	for i, sp := range specs {
 		sp := sp
 		sp.Config = s.applyCheck(sp.Config)
+		key := runKey(sp.Bench, sp.Config)
 		tasks[i] = runner.Task[string, *sim.RunResult]{
-			Key:   runKey(sp.Bench, sp.Config),
+			Key:   key,
 			Label: runLabel(sp.Bench, sp.Config),
 			Run: func(ctx context.Context) (*sim.RunResult, error) {
-				return s.execute(ctx, sp.Bench, sp.Config)
+				r, cached, err := s.execute(ctx, sp.Bench, sp.Config)
+				if cached {
+					s.pool.NoteCached(key)
+				}
+				return r, err
 			},
 		}
 	}

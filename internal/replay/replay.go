@@ -10,6 +10,7 @@ package replay
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 
 	"sttdl1/internal/compile"
@@ -19,10 +20,14 @@ import (
 	"sttdl1/internal/sim"
 )
 
-// traced pairs a compiled kernel with its captured execution trace.
+// traced pairs a compiled kernel with its captured execution trace and
+// the SHA-256 of the trace's encoded (sttrace1) bytes — the kernel
+// variant's functional-content fingerprint the persistent evaluation
+// store keys on (internal/store).
 type traced struct {
-	ck *compile.Compiled
-	tr *cpu.Trace
+	ck     *compile.Compiled
+	tr     *cpu.Trace
+	digest [sha256.Size]byte
 }
 
 // Cache memoizes compiled kernels and their execution traces. Keys cover
@@ -55,6 +60,29 @@ func key(b polybench.Bench, opts compile.Options) string {
 // compiling and capturing on first use and memoizing forever. Concurrent
 // requests for the same kernel variant share one capture.
 func (c *Cache) Trace(ctx context.Context, b polybench.Bench, opts compile.Options) (*compile.Compiled, *cpu.Trace, error) {
+	t, err := c.traced(ctx, b, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.ck, t.tr, nil
+}
+
+// Digest returns the SHA-256 of the encoded trace bytes for b under
+// opts, capturing (memoized, shared with Trace) on first use. The
+// digest covers the variant's functional execution byte for byte, so
+// any change to the kernel, the compiler passes or the capture
+// machinery changes the digest — which is exactly what makes it a sound
+// content-address component for the persistent store.
+func (c *Cache) Digest(ctx context.Context, b polybench.Bench, opts compile.Options) ([sha256.Size]byte, error) {
+	t, err := c.traced(ctx, b, opts)
+	if err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	return t.digest, nil
+}
+
+// traced is the shared memoized compile + capture + digest.
+func (c *Cache) traced(ctx context.Context, b polybench.Bench, opts compile.Options) (traced, error) {
 	t, err := c.pool.DoLabeled(ctx, key(b, opts), "capture "+b.Name,
 		func(context.Context) (traced, error) {
 			ck, err := compile.Compile(b.Kernel(), opts)
@@ -65,12 +93,18 @@ func (c *Cache) Trace(ctx context.Context, b polybench.Bench, opts compile.Optio
 			if err != nil {
 				return traced{}, err
 			}
-			return traced{ck: ck, tr: tr}, nil
+			h := sha256.New()
+			if err := Encode(h, tr); err != nil {
+				return traced{}, fmt.Errorf("digest: %w", err)
+			}
+			t := traced{ck: ck, tr: tr}
+			h.Sum(t.digest[:0])
+			return t, nil
 		})
 	if err != nil {
-		return nil, nil, fmt.Errorf("replay: %s: %w", b.Name, err)
+		return traced{}, fmt.Errorf("replay: %s: %w", b.Name, err)
 	}
-	return t.ck, t.tr, nil
+	return t, nil
 }
 
 // Run executes bench b under cfg by timing replay: the (memoized)

@@ -43,6 +43,9 @@ type call[V any] struct {
 	ready chan struct{} // closed when val/err are final
 	val   V
 	err   error
+	// cached marks the execution as served from an external cache tier
+	// (NoteCached); the completion event carries the flag.
+	cached bool
 }
 
 // New builds a pool executing at most workers tasks concurrently;
@@ -71,6 +74,20 @@ func (p *Pool[K, V]) Done() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.done
+}
+
+// NoteCached marks the in-flight execution for key as served from an
+// external cache tier (e.g. the persistent evaluation store), so its
+// completion event reports Cached and progress output can distinguish
+// real simulation work from store reads. Call it from inside the task's
+// own fn — the flag is published with the task's completion, and a task
+// whose fn has already returned is no longer addressable.
+func (p *Pool[K, V]) NoteCached(key K) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.calls[key]; ok {
+		c.cached = true
+	}
 }
 
 // Do returns the result for key, computing it with fn at most once
@@ -153,6 +170,7 @@ func (p *Pool[K, V]) finish(key K, c *call[V], v V, err error, label string, wal
 				Key:      fmt.Sprint(key),
 				Label:    label,
 				Wall:     wall,
+				Cached:   c.cached,
 				Done:     p.done,
 				InFlight: p.inflight,
 				Queued:   p.queued,

@@ -17,6 +17,10 @@ type RunEvent struct {
 	Label string
 	// Wall is the wall-clock time the task itself took to execute.
 	Wall time.Duration
+	// Cached reports that the task was served from the persistent
+	// evaluation store (internal/store) rather than simulated — the
+	// timing model never ran.
+	Cached bool
 
 	// Counter snapshot at the moment the event is emitted.
 	Done     int // tasks completed so far, this one included
@@ -65,6 +69,7 @@ type SearchProgressFunc func(SearchEvent)
 type Counters struct {
 	mu          sync.Mutex
 	runs        int
+	cached      int
 	wall        time.Duration
 	maxInFlight int
 	maxQueued   int
@@ -76,6 +81,9 @@ func (c *Counters) Observe(ev RunEvent) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.runs++
+	if ev.Cached {
+		c.cached++
+	}
 	c.wall += ev.Wall
 	if ev.InFlight > c.maxInFlight {
 		c.maxInFlight = ev.InFlight
@@ -114,11 +122,26 @@ func (c *Counters) MaxQueued() int {
 	return c.maxQueued
 }
 
+// Cached returns the number of observed tasks served from the
+// persistent evaluation store.
+func (c *Counters) Cached() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cached
+}
+
 // Summary renders the counters as one line, e.g.
-// "96 sims in 12.1s simulated work (peak 8 running / 41 queued)".
+// "96 sims, 12.1s simulated work (peak 8 running / 41 queued)"; when
+// any task was served from the persistent store the cached share is
+// named: "96 sims (90 from store), ...". A store-less run renders
+// exactly as before.
 func (c *Counters) Summary() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return fmt.Sprintf("%d sims, %s simulated work (peak %d running / %d queued)",
-		c.runs, c.wall.Round(time.Millisecond), c.maxInFlight, c.maxQueued)
+	sims := fmt.Sprintf("%d sims", c.runs)
+	if c.cached > 0 {
+		sims = fmt.Sprintf("%d sims (%d from store)", c.runs, c.cached)
+	}
+	return fmt.Sprintf("%s, %s simulated work (peak %d running / %d queued)",
+		sims, c.wall.Round(time.Millisecond), c.maxInFlight, c.maxQueued)
 }

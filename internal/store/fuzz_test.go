@@ -1,0 +1,64 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRecordDecode hardens the record codec against arbitrary disk
+// contents — the store reads files any process (or bit rot) may have
+// written. Two properties:
+//
+//  1. DecodeRecord never panics and never over-allocates on garbage
+//     (the bounded declared length is checked before the payload is
+//     touched);
+//  2. anything that decodes re-encodes to a blob that decodes to the
+//     same record — the codec round-trips through its own output.
+//
+// Seeds cover a valid record, systematic truncations of it, a checksum
+// flip, and a max-length header; go test -fuzz grows the corpus from
+// there (committed under testdata/fuzz/FuzzRecordDecode).
+func FuzzRecordDecode(f *testing.F) {
+	valid, err := EncodeRecord(NewRecord("gemm", 32, testResult()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	for _, cut := range []int{0, 1, len("STTEVAL1"), len("STTEVAL1") + 8, len("STTEVAL1") + 8 + sha256.Size, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)-1] ^= 0x80
+	f.Add(flipped)
+	huge := append([]byte{}, valid[:len("STTEVAL1")]...)
+	huge = binary.LittleEndian.AppendUint64(huge, maxPayload+1)
+	f.Add(huge)
+	f.Add([]byte("STTEVAL1"))
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeRecord(data)
+		if err != nil {
+			return // rejected garbage: the only requirement is no panic
+		}
+		out, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decoded record fails to re-encode: %v", err)
+		}
+		rec2, err := DecodeRecord(out)
+		if err != nil {
+			t.Fatalf("re-encoded record fails to decode: %v", err)
+		}
+		if rec2.Schema != rec.Schema || rec2.Bench != rec.Bench || rec2.Size != rec.Size {
+			t.Fatalf("round trip changed the header: %+v vs %+v", rec2, rec)
+		}
+		if *rec2.Result.CPU != *rec.Result.CPU {
+			t.Fatal("round trip changed the CPU counters")
+		}
+		if rec2.Result.Config != rec.Result.Config {
+			t.Fatal("round trip changed the stored config")
+		}
+	})
+}

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Sweep-store benchmark (DESIGN.md §7.7): time the same design-space
+# sweep through the real CLI against a cold and then a warm persistent
+# store, run the in-process BenchmarkStoreSweep pair for allocation
+# counts, and emit everything as BENCH_sweep.json. Run from the
+# repository root.
+#
+#   ./scripts/bench.sh                 # smoke space (seconds)
+#   SPACE=proposal ./scripts/bench.sh  # paper-scale sweep (minutes cold)
+set -eu
+
+space=${SPACE:-smoke}
+out=${OUT:-BENCH_sweep.json}
+benchtime=${BENCHTIME:-2x}
+
+bin_dir=$(mktemp -d)
+store_dir=$(mktemp -d)
+trap 'rm -rf "$bin_dir" "$store_dir"' EXIT
+
+go build -o "$bin_dir/sttexplore" ./cmd/sttexplore
+
+now_ms() { date +%s%3N; }
+
+t0=$(now_ms)
+"$bin_dir/sttexplore" dse -space "$space" -j 8 -csv -store "$store_dir" >"$bin_dir/cold.csv"
+t1=$(now_ms)
+"$bin_dir/sttexplore" dse -space "$space" -j 8 -csv -store "$store_dir" >"$bin_dir/warm.csv"
+t2=$(now_ms)
+cmp "$bin_dir/cold.csv" "$bin_dir/warm.csv" # warm must be byte-identical
+cold_ms=$((t1 - t0))
+warm_ms=$((t2 - t1))
+
+gobench=$(go test -run '^$' -bench '^BenchmarkStoreSweep$' -benchtime "$benchtime" -benchmem .)
+printf '%s\n' "$gobench"
+
+# Benchmark lines: name N ns/op "ns/op" B/op "B/op" allocs/op "allocs/op".
+field() { printf '%s\n' "$gobench" | awk -v pat="$1" -v f="$2" '$0 ~ pat { print $f; exit }'; }
+cold_ns=$(field 'BenchmarkStoreSweep/cold' 3)
+cold_bytes=$(field 'BenchmarkStoreSweep/cold' 5)
+cold_allocs=$(field 'BenchmarkStoreSweep/cold' 7)
+warm_ns=$(field 'BenchmarkStoreSweep/warm' 3)
+warm_bytes=$(field 'BenchmarkStoreSweep/warm' 5)
+warm_allocs=$(field 'BenchmarkStoreSweep/warm' 7)
+
+awk -v space="$space" \
+	-v cold_ms="$cold_ms" -v warm_ms="$warm_ms" \
+	-v cns="$cold_ns" -v cb="$cold_bytes" -v ca="$cold_allocs" \
+	-v wns="$warm_ns" -v wb="$warm_bytes" -v wa="$warm_allocs" \
+	'BEGIN {
+		printf "{\n"
+		printf "  \"space\": \"%s\",\n", space
+		printf "  \"cli\": {\n"
+		printf "    \"cold_s\": %.3f,\n", cold_ms / 1000
+		printf "    \"warm_s\": %.3f,\n", warm_ms / 1000
+		printf "    \"speedup\": %.1f\n", cold_ms / (warm_ms > 0 ? warm_ms : 1)
+		printf "  },\n"
+		printf "  \"gobench\": {\n"
+		printf "    \"cold\": { \"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d },\n", cns, cb, ca
+		printf "    \"warm\": { \"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d }\n", wns, wb, wa
+		printf "  }\n"
+		printf "}\n"
+	}' >"$out"
+cat "$out"

@@ -37,3 +37,14 @@ go run ./cmd/sttexplore dse -check -space hybrid -bench atax,gemver >/dev/null
 go run ./cmd/sttexplore bench -cfg bypass -check -replay on atax >"$tmp_on"
 go run ./cmd/sttexplore bench -cfg bypass -check -replay off atax >"$tmp_off"
 cmp "$tmp_on" "$tmp_off"
+
+# Persistent-store equivalence (DESIGN.md §7.7): the same sweep must
+# render byte-identically with no store, with a cold store, and served
+# entirely from the warm store the cold pass just wrote.
+store_dir=$(mktemp -d)
+trap 'rm -f "$tmp_on" "$tmp_off"; rm -rf "$store_dir"' EXIT
+go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv >"$tmp_on"
+go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv -store "$store_dir" >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
+go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv -store "$store_dir" >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
