@@ -8,9 +8,20 @@
 //	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] [-replay on|off] [-store DIR] <id>|all|paper
 //	sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
 //	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr|bypass|hybrid] [-opt] [-n size] [-v] [-check] [-replay on|off] [-store DIR] <kernel>
+//	sttexplore serve [-addr :8080] -store DIR [-workers N]
+//	sttexplore worker -connect URL -store DIR
+//	sttexplore submit -connect URL [-space name] [-shards N] [-format csv]
+//	sttexplore store -dir DIR stats|gc [-max-bytes B]
 //
-// All three commands take -cpuprofile/-memprofile to write pprof
+// run, dse and bench take -cpuprofile/-memprofile to write pprof
 // profiles (see EXPERIMENTS.md "Profiling").
+//
+// serve/worker/submit are the sweep service (DESIGN.md §7.8): a
+// coordinator that partitions exhaustive sweeps into shard leases,
+// dispatches them to workers (local goroutines or external processes
+// sharing only the persistent store), survives worker failure by
+// heartbeat-deadline requeue, and serves final frontiers byte-identical
+// to a single-process dse run.
 //
 // Examples:
 //
@@ -64,6 +75,14 @@ func main() {
 		err = cmdDse(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -90,6 +109,10 @@ func usageText() string {
   sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] [-replay on|off] [-store DIR] <id>|all|paper
   sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
   sttexplore bench [-cfg %s] [-opt] [-n size] [-v] [-check] [-replay on|off] [-store DIR] <kernel>
+  sttexplore serve [-addr :8080] -store DIR [-workers N] [-j N] [-queue N] [-shards N] [-lease-ttl D] [-drain D] [-addr-file FILE] [-v]
+  sttexplore worker -connect URL -store DIR [-name s] [-j N] [-poll D] [-v]
+  sttexplore submit -connect URL [-space name] [-axes JSON] [-bench a,b,...] [-search mode] [-budget N] [-seed S] [-shards N] [-check] [-format csv|table|json] [-wait=false] [-v]
+  sttexplore store -dir DIR stats|gc [-max-bytes B]
 
 run flags:
   -j N    run up to N simulations in parallel (0 = GOMAXPROCS);
@@ -139,7 +162,45 @@ bench flags:
   -cfg    named configuration: %s
   -opt    apply all code transformations
   -n      problem size override (0 = benchmark default)
-  -v      also print the configuration's technology model`,
+  -v      also print the configuration's technology model
+
+serve flags (sweep-as-a-service; results byte-identical to dse):
+  -addr   listen address (default :8080)
+  -store  shared persistent store directory (required) — workers and the
+          final stitch coordinate through it, nothing else
+  -workers
+          local worker goroutines (default 1; 0 = coordinator only,
+          external 'sttexplore worker' processes pull shards instead)
+  -queue  max queued+running jobs; beyond it submissions answer 429
+  -shards default shard count for jobs that don't choose one
+  -lease-ttl
+          heartbeat deadline per shard lease; a silent worker's shard
+          requeues and its successor resumes from the warm store
+  -drain  SIGINT/SIGTERM grace for leased shards before requeuing
+  -addr-file
+          write the resolved host:port to FILE once serving (scripts)
+
+worker flags:
+  -connect  server base URL or host:port (required)
+  -name     worker name in leases and events (default worker-<pid>)
+  -poll     idle re-poll interval
+  -store/-j as for serve
+
+submit flags (job client):
+  -connect  server base URL or host:port (required)
+  -axes     restrict axes to value subsets, as JSON:
+            '{"front-end":["vwb","direct"]}'
+  -format   result format: csv (dse -csv bytes), table, json
+  -wait     follow the job and print its result (default true;
+            -wait=false prints the job id and exits)
+  -space/-bench/-search/-budget/-seed/-shards/-check as for dse
+
+store verbs (maintenance of a -store directory):
+  stats   deep-scan: record count, bytes, corrupt entries healed
+  gc      evict oldest records until at or under -max-bytes
+  -dir    store directory (required)
+  -max-bytes
+          gc byte budget (required for gc; 0 empties the store)`,
 		strings.Join(benchConfigNames(), "|"),
 		strings.Join(dse.Names(), ", "),
 		strings.Join(benchConfigNames(), ", "))
@@ -288,10 +349,14 @@ func cmdList() error {
 		const listCountCap = 100000
 		n := sp.CountUpTo(listCountCap)
 		count := fmt.Sprintf("%d", n)
+		// Spaces small enough to enumerate partition into dse -shard /
+		// serve worker leases; anything at the cap is guided-search only.
+		mode := "shardable"
 		if n >= listCountCap {
 			count = fmt.Sprintf("≥%d", listCountCap)
+			mode = "guided-only"
 		}
-		fmt.Printf("  %-20s %7s point(s)  %s\n", sp.Name, count, sp.Desc)
+		fmt.Printf("  %-20s %7s point(s)  %-11s %s\n", sp.Name, count, mode, sp.Desc)
 	}
 	fmt.Println("\nbenchmarks:")
 	for _, b := range polybench.All() {
@@ -394,7 +459,14 @@ func commandFlagSets() map[string]*flag.FlagSet {
 	rfs, _ := newRunFlagSet()
 	dfs, _ := newDseFlagSet()
 	bfs, _ := newBenchFlagSet()
-	return map[string]*flag.FlagSet{"run": rfs, "dse": dfs, "bench": bfs}
+	svfs, _ := newServeFlagSet()
+	wfs, _ := newWorkerFlagSet()
+	sbfs, _ := newSubmitFlagSet()
+	stfs, _ := newStoreFlagSet()
+	return map[string]*flag.FlagSet{
+		"run": rfs, "dse": dfs, "bench": bfs,
+		"serve": svfs, "worker": wfs, "submit": sbfs, "store": stfs,
+	}
 }
 
 func cmdRun(args []string) error {

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sttdl1/internal/serve"
+)
+
+// startServe launches `sttexplore serve` as a real process and waits
+// for its -addr-file, returning the base URL and a stopper.
+func startServe(t *testing.T, bin, storeDir string, extra ...string) (string, func()) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-store", storeDir, "-addr-file", addrFile}, extra...)
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(data)) > 0 {
+			return "http://" + string(bytes.TrimSpace(data)), stop
+		}
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatalf("serve never wrote %s\nstderr:\n%s", addrFile, stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func jobStatus(t *testing.T, base, id string) serve.JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var js serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+// TestServeSweepSurvivesWorkerKill is the service acceptance test
+// (DESIGN.md §7.8): a coordinator-only server, one external worker
+// process killed mid-job, a replacement worker finishing it — and the
+// served CSV byte-identical to a plain single-process `dse -csv`.
+func TestServeSweepSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI as several processes")
+	}
+	bin := buildCLI(t)
+	storeDir := t.TempDir()
+	ref := runCLI(t, bin, "dse", "-space", "smoke", "-bench", "atax,gesummv", "-j", "8", "-csv")
+
+	// Coordinator only, short lease TTL so the kill is detected fast.
+	base, stopServe := startServe(t, bin, storeDir, "-workers", "0", "-lease-ttl", "2s", "-shards", "2")
+	defer stopServe()
+
+	// Submit without waiting; the job sits queued until a worker pulls.
+	out := runCLI(t, bin, "submit", "-connect", base, "-space", "smoke",
+		"-bench", "atax,gesummv", "-shards", "2", "-wait=false")
+	id := strings.TrimSpace(string(out))
+	if id == "" {
+		t.Fatal("submit printed no job id")
+	}
+
+	// Worker 1: killed as soon as it holds a lease.
+	w1 := exec.Command(bin, "worker", "-connect", base, "-store", storeDir, "-name", "victim", "-poll", "50ms")
+	if err := w1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for jobStatus(t, base, id).Shards.Leased == 0 {
+		if time.Now().After(deadline) {
+			w1.Process.Kill()
+			t.Fatal("victim worker never leased a shard")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	w1.Process.Kill() // SIGKILL: no goodbye, the lease just goes silent
+	w1.Wait()
+
+	// Worker 2 finishes the whole job (including the victim's requeued
+	// shard, warm from whatever the victim already stored).
+	w2 := exec.Command(bin, "worker", "-connect", base, "-store", storeDir, "-name", "successor", "-poll", "50ms")
+	var w2err bytes.Buffer
+	w2.Stderr = &w2err
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		w2.Process.Signal(syscall.SIGTERM)
+		w2.Wait()
+	}()
+
+	deadline = time.Now().Add(3 * time.Minute)
+	var st serve.JobStatus
+	for {
+		st = jobStatus(t, base, id)
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job reached %q: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q (shards %+v)\nworker stderr:\n%s", st.State, st.Shards, w2err.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.Requeues == 0 {
+		t.Error("killed worker's shard was never requeued (did the kill land after the shard finished?)")
+	}
+
+	// The served result must be byte-identical to single-process dse.
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	if !bytes.Equal(got.Bytes(), ref) {
+		t.Errorf("served CSV differs from single-process dse:\n--- dse\n%s\n--- served\n%s", ref, got.Bytes())
+	}
+
+	// And `submit -wait` of the identical job is the warm path: served
+	// from the stitch suite's memo and the store, same bytes.
+	warm := runCLI(t, bin, "submit", "-connect", base, "-space", "smoke",
+		"-bench", "atax,gesummv", "-shards", "2", "-format", "csv")
+	if !bytes.Equal(warm, ref) {
+		t.Error("warm resubmission through submit -wait differs from single-process dse")
+	}
+}
+
+// TestStoreCLIMaintenance pins the store subcommand round trip: a sweep
+// populates a store, stats reports it, gc to zero empties it.
+func TestStoreCLIMaintenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	bin := buildCLI(t)
+	storeDir := t.TempDir()
+	runCLI(t, bin, "dse", "-space", "smoke", "-bench", "atax", "-csv", "-store", storeDir)
+
+	out := string(runCLI(t, bin, "store", "-dir", storeDir, "stats"))
+	if !strings.Contains(out, "record(s)") || strings.Contains(out, " 0 record(s)") {
+		t.Fatalf("stats after a sweep: %q", out)
+	}
+	out = string(runCLI(t, bin, "store", "-dir", storeDir, "gc", "-max-bytes", "0"))
+	if !strings.Contains(out, "evicted") {
+		t.Fatalf("gc output: %q", out)
+	}
+	out = string(runCLI(t, bin, "store", "-dir", storeDir, "stats"))
+	if !strings.Contains(out, "0 record(s), 0 bytes") {
+		t.Fatalf("stats after gc 0: %q", out)
+	}
+	// gc without a byte budget must refuse rather than empty the store.
+	if err := exec.Command(bin, "store", "-dir", storeDir, "gc").Run(); err == nil {
+		t.Error("store gc without -max-bytes succeeded; want a usage error")
+	}
+}
+
+// TestSubmitValidationErrors pins the client-visible 4xx wall end to
+// end: a bad job is refused by the server and submit exits nonzero.
+func TestSubmitValidationErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	bin := buildCLI(t)
+	base, stopServe := startServe(t, bin, t.TempDir(), "-workers", "0")
+	defer stopServe()
+	for _, args := range [][]string{
+		{"submit", "-connect", base, "-space", "no-such-space"},
+		{"submit", "-connect", base, "-bench", "no-such-bench"},
+		{"submit", "-connect", base, "-axes", `{"no-such-axis":["x"]}`},
+		{"submit", "-connect", base, "-axes", `not json`},
+		{"submit", "-connect", base, "-search", "psychic"},
+	} {
+		var stderr bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err == nil {
+			t.Errorf("%v: expected an error exit", args)
+		} else if stderr.Len() == 0 {
+			t.Errorf("%v: error exit with silent stderr", args)
+		}
+	}
+	// Nothing was enqueued.
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("%d job(s) enqueued by rejected submissions", len(jobs))
+	}
+}

@@ -330,6 +330,19 @@ type ReplayCtl struct {
 	// be larger). Returning true abandons the replay; the partial
 	// Result reflects the records retired so far.
 	Abort func(cyclesSoFar int64) bool
+	// Interrupt, when non-nil, is probed every InterruptEvery records in
+	// every pass — unlike Abort it also runs during the warm-up, whose
+	// cycle counts are discarded but whose records still cost real time.
+	// A non-nil return abandons the replay with that error and no
+	// Result. This is how context cancellation reaches the timing loop
+	// promptly: a canceled or superseded sweep-service job stops burning
+	// CPU mid-replay instead of finishing a doomed simulation
+	// (internal/replay wires ctx.Err in, internal/serve relies on it).
+	Interrupt func() error
+	// InterruptEvery is the number of records between Interrupt probes
+	// (0 = every 65536 records — coarse enough to be free, fine enough
+	// to cancel a multi-second replay within milliseconds).
+	InterruptEvery int
 }
 
 // ReplayTrace re-runs the timing model over a captured trace. It is the
@@ -441,6 +454,14 @@ func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Res
 	nextProbe := -1 // i+1 of the next Abort probe (-1 = never)
 	if ctl != nil && ctl.Abort != nil && ctl.CheckEvery > 0 {
 		nextProbe = ctl.CheckEvery
+	}
+	nextIntr, intrEvery := -1, 0 // i+1 of the next Interrupt probe
+	if ctl != nil && ctl.Interrupt != nil {
+		intrEvery = ctl.InterruptEvery
+		if intrEvery <= 0 {
+			intrEvery = 1 << 16
+		}
+		nextIntr = intrEvery
 	}
 	aborted := false
 	for i := 0; i < n; i++ {
@@ -612,6 +633,15 @@ func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Res
 				break
 			}
 			nextProbe += ctl.CheckEvery
+		}
+		// Interrupt probe: abandon the pass with the probe's error. The
+		// whole System is discarded with it, so the open fetch stream's
+		// unflushed bookkeeping is irrelevant.
+		if i+1 == nextIntr {
+			if err := ctl.Interrupt(); err != nil {
+				return nil, false, err
+			}
+			nextIntr += intrEvery
 		}
 	}
 	fs.Close()

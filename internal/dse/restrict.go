@@ -1,0 +1,96 @@
+package dse
+
+// Inline axis deltas (DESIGN.md §7.8): a sweep-service job names a
+// registered space and may restrict any of its axes to a subset of
+// value labels — "the smoke space, but only the vwb front-end" —
+// without registering a new space. The restricted space keeps the
+// original's base, constraints and enumeration discipline, so its
+// pruned enumeration order is a subsequence of the full space's and
+// every downstream determinism argument carries over unchanged.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Restrict returns a copy of sp keeping, on each axis named in sel,
+// only the values whose labels are listed; axes absent from sel keep
+// every value. Axis order and within-axis value order always follow sp
+// — the selection's own order is ignored — so equal selections produce
+// identical enumerations. Unknown axis names or value labels are
+// errors, not silent no-ops: a job must never sweep a different space
+// than it asked for. An empty/nil sel returns sp unchanged.
+func Restrict(sp Space, sel map[string][]string) (Space, error) {
+	if len(sel) == 0 {
+		return sp, nil
+	}
+	used := make(map[string]bool, len(sel))
+	axes := make([]Axis, len(sp.Axes))
+	for i, a := range sp.Axes {
+		want, ok := sel[a.Name]
+		if !ok {
+			axes[i] = a
+			continue
+		}
+		used[a.Name] = true
+		if len(want) == 0 {
+			return Space{}, fmt.Errorf("dse: restriction of axis %q selects no values", a.Name)
+		}
+		keep := make(map[string]bool, len(want))
+		for _, label := range want {
+			keep[label] = true
+		}
+		var vals []Value
+		for _, v := range a.Values {
+			if keep[v.Label] {
+				vals = append(vals, v)
+				delete(keep, v.Label)
+			}
+		}
+		if len(keep) > 0 {
+			var missing []string
+			for label := range keep {
+				missing = append(missing, label)
+			}
+			return Space{}, fmt.Errorf("dse: axis %q of space %q has no value(s) %s; known: %s",
+				a.Name, sp.Name, strings.Join(sortedLabels(missing), ", "), strings.Join(axisLabels(a), ", "))
+		}
+		axes[i] = Axis{Name: a.Name, Values: vals}
+	}
+	for name := range sel {
+		if !used[name] {
+			return Space{}, fmt.Errorf("dse: space %q has no axis %q; known: %s",
+				sp.Name, name, strings.Join(axisNames(sp), ", "))
+		}
+	}
+	out := sp
+	out.Axes = axes
+	return out, nil
+}
+
+func axisNames(sp Space) []string {
+	out := make([]string, len(sp.Axes))
+	for i, a := range sp.Axes {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func axisLabels(a Axis) []string {
+	out := make([]string, len(a.Values))
+	for i, v := range a.Values {
+		out[i] = v.Label
+	}
+	return out
+}
+
+// sortedLabels orders the missing-label list so the error message is
+// deterministic (map iteration is not).
+func sortedLabels(labels []string) []string {
+	for i := 1; i < len(labels); i++ {
+		for j := i; j > 0 && labels[j] < labels[j-1]; j-- {
+			labels[j], labels[j-1] = labels[j-1], labels[j]
+		}
+	}
+	return labels
+}

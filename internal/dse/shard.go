@@ -79,19 +79,37 @@ type ShardResult struct {
 	Benches             int
 }
 
-// EvaluateShard simulates this shard's slice of the space — each owned
-// point's configuration and its penalty baseline, over every benchmark
-// — through the engine, without scoring or ranking: its entire purpose
-// is populating the engine's cache tiers (above all the persistent
-// store) so a stitch run assembles the full evaluation from warm
-// entries. Shards overlap only on shared baselines, which every process
-// stores byte-identically (determinism makes last-writer-wins a no-op).
-func EvaluateShard(eng Engine, benches []polybench.Bench, sp Space, sh Shard) (*ShardResult, error) {
+// ShardPlan is one shard's work list: every configuration the shard
+// must simulate (its owned design points, their penalty baselines, and
+// — on shard 0 of a shared-baseline space — the SRAM reference). The
+// sweep service leases shards as these resumable units: a re-leased
+// shard re-plans identically, and whatever a crashed worker already
+// published to the persistent store is a warm hit for its successor, so
+// requeued work resumes instead of restarting (DESIGN.md §7.8).
+type ShardPlan struct {
+	Space string
+	Shard Shard
+	// Points is the number of design points the shard owns; SpacePoints
+	// the space's full pruned count.
+	Points, SpacePoints int
+	// Configs is the concrete simulation work list, in enumeration
+	// order. It may repeat a configuration (per-point baselines of a
+	// non-shared-baseline space); the engine's memo deduplicates.
+	Configs []sim.Config
+}
+
+// Sims returns the plan's simulation count over n benchmarks — the
+// progress denominator a worker reports shard completion against (an
+// upper bound: the engine's memo may collapse duplicates).
+func (p *ShardPlan) Sims(n int) int { return len(p.Configs) * n }
+
+// PlanShard computes the deterministic work list of one shard of the
+// space. Enumeration order is a pure function of the space definition,
+// so every process — and every re-lease of a crashed worker's shard —
+// partitions identically.
+func PlanShard(sp Space, sh Shard) (*ShardPlan, error) {
 	if !sh.Enabled() {
-		return nil, fmt.Errorf("dse: EvaluateShard needs an enabled shard")
-	}
-	if benches == nil {
-		benches = polybench.All()
+		return nil, fmt.Errorf("dse: PlanShard needs an enabled shard")
 	}
 	all := sp.Enumerate()
 	if len(all) == 0 {
@@ -117,14 +135,36 @@ func EvaluateShard(eng Engine, benches []polybench.Bench, sp Space, sh Shard) (*
 			cfgs = append(cfgs, base0)
 		}
 	}
-	if len(cfgs) > 0 {
-		if err := eng.Prefetch(benches, cfgs...); err != nil {
+	return &ShardPlan{
+		Space: sp.Name, Shard: sh,
+		Points: len(pts), SpacePoints: len(all),
+		Configs: cfgs,
+	}, nil
+}
+
+// EvaluateShard simulates this shard's slice of the space — each owned
+// point's configuration and its penalty baseline, over every benchmark
+// — through the engine, without scoring or ranking: its entire purpose
+// is populating the engine's cache tiers (above all the persistent
+// store) so a stitch run assembles the full evaluation from warm
+// entries. Shards overlap only on shared baselines, which every process
+// stores byte-identically (determinism makes last-writer-wins a no-op).
+func EvaluateShard(eng Engine, benches []polybench.Bench, sp Space, sh Shard) (*ShardResult, error) {
+	if benches == nil {
+		benches = polybench.All()
+	}
+	plan, err := PlanShard(sp, sh)
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.Configs) > 0 {
+		if err := eng.Prefetch(benches, plan.Configs...); err != nil {
 			return nil, fmt.Errorf("dse: %s shard %s: %w", sp.Name, sh, err)
 		}
 	}
 	return &ShardResult{
 		Space: sp.Name, Shard: sh,
-		Points: len(pts), SpacePoints: len(all),
+		Points: plan.Points, SpacePoints: plan.SpacePoints,
 		Benches: len(benches),
 	}, nil
 }

@@ -1,0 +1,101 @@
+// Cancellation plumbing (DESIGN.md §7.8): a canceled context must stop
+// an in-flight replay promptly — the sweep service aborts superseded
+// jobs through exactly this path — while a live cancellable context
+// must not change a single counter.
+package replay_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/replay"
+	"sttdl1/internal/sim"
+)
+
+// TestReplayInterruptAbandonsWarmup pins that Interrupt probes fire in
+// the warm-up pass too (unlike Abort, which is deliberately stripped
+// from it): the probe's error surfaces before the measured pass ever
+// starts, so cancellation latency is bounded by the probe interval,
+// not by half the replay.
+func TestReplayInterruptAbandonsWarmup(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("no atax benchmark")
+	}
+	cfg := sim.ProposalVWB()
+	c := replay.NewCache()
+	ck, tr, err := c.Trace(context.Background(), b, sim.CompileOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("interrupted for the test")
+	calls := 0
+	_, _, err = sys.ReplayCompiledCtl(ck, tr, &sim.ReplayCtl{
+		InterruptEvery: 1000,
+		Interrupt: func() error {
+			calls++
+			if calls >= 2 {
+				return wantErr
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("interrupted replay returned %v, want %v", err, wantErr)
+	}
+	// Two probes at every-1000-records granularity retire at most 2000
+	// records — far inside the warm-up pass of any real kernel.
+	if calls != 2 {
+		t.Fatalf("interrupt probed %d time(s), want exactly 2", calls)
+	}
+}
+
+// TestReplayCanceledContext pins the public path: replay.Run under an
+// already-canceled context returns the cancellation, never a result.
+func TestReplayCanceledContext(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("no atax benchmark")
+	}
+	cfg := sim.ProposalVWB()
+	c := replay.NewCache()
+	// Warm the capture so cancellation must be seen by the replay side.
+	if _, _, err := c.Trace(context.Background(), b, sim.CompileOptions(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r, err := replay.Run(ctx, c, b, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled replay returned (%v, %v), want context.Canceled", r, err)
+	}
+}
+
+// TestReplayLiveCancellableContextUnchanged pins that merely being
+// cancellable (the sweep-service worker's normal state) changes
+// nothing: the probe-carrying replay is byte-identical to the plain
+// one.
+func TestReplayLiveCancellableContextUnchanged(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("no atax benchmark")
+	}
+	cfg := sim.ProposalVWB()
+	c := replay.NewCache()
+	plain, err := replay.Run(context.Background(), c, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probed, err := replay.Run(ctx, c, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "cancellable-vs-plain", plain, probed)
+}

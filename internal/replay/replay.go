@@ -109,7 +109,11 @@ func (c *Cache) traced(ctx context.Context, b polybench.Bench, opts compile.Opti
 
 // Run executes bench b under cfg by timing replay: the (memoized)
 // compile + capture, then a fresh system replaying the trace. The result
-// is byte-identical to sim.Run for the same inputs.
+// is byte-identical to sim.Run for the same inputs. A cancellable ctx is
+// probed inside the timing loop (warm-up pass included), so a canceled
+// caller gets ctx's error back within ~65k replayed records instead of
+// after the full simulation — the probe never fires on a live context,
+// so results are unchanged.
 func Run(ctx context.Context, c *Cache, b polybench.Bench, cfg sim.Config) (*sim.RunResult, error) {
 	ck, tr, err := c.Trace(ctx, b, sim.CompileOptions(cfg))
 	if err != nil {
@@ -119,7 +123,29 @@ func Run(ctx context.Context, c *Cache, b polybench.Bench, cfg sim.Config) (*sim
 	if err != nil {
 		return nil, err
 	}
+	if ctl := cancelCtl(ctx, nil); ctl != nil {
+		r, _, err := sys.ReplayCompiledCtl(ck, tr, ctl)
+		return r, err
+	}
 	return sys.ReplayCompiled(ck, tr)
+}
+
+// cancelCtl merges ctx cancellation into a partial-replay control
+// block: with a cancellable ctx the replay probes ctx.Err periodically
+// and abandons the pass when it turns non-nil. A Background-like ctx
+// (Done() == nil) adds no control at all, keeping the common path's
+// zero-overhead nil-ctl replay. An Interrupt the caller installed
+// itself wins over the ctx probe.
+func cancelCtl(ctx context.Context, ctl *sim.ReplayCtl) *sim.ReplayCtl {
+	if ctx.Done() == nil || (ctl != nil && ctl.Interrupt != nil) {
+		return ctl
+	}
+	var out sim.ReplayCtl
+	if ctl != nil {
+		out = *ctl
+	}
+	out.Interrupt = func() error { return ctx.Err() }
+	return &out
 }
 
 // RunCtl is Run with partial-replay control (truncation and early abort,
@@ -135,5 +161,5 @@ func RunCtl(ctx context.Context, c *Cache, b polybench.Bench, cfg sim.Config, ct
 	if err != nil {
 		return nil, false, err
 	}
-	return sys.ReplayCompiledCtl(ck, tr, ctl)
+	return sys.ReplayCompiledCtl(ck, tr, cancelCtl(ctx, ctl))
 }

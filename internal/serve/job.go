@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"sttdl1/internal/dse"
+)
+
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// shardSlot tracks one shard of a job through the lease lifecycle.
+type shardSlot struct {
+	state shardState
+	// lease is the current lease's id while leased.
+	lease string
+	// retries counts explicit worker-reported failures (not expiries or
+	// cancels); MaxShardRetries of them fail the job.
+	retries int
+}
+
+// Job states. A job is terminal in done, failed or canceled.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateStitching = "stitching"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCanceled  = "canceled"
+)
+
+func terminal(state string) bool {
+	return state == stateDone || state == stateFailed || state == stateCanceled
+}
+
+// job is the server-side record of one sweep. All fields are guarded by
+// the server's mutex except ctx/cancel (set once at creation) and the
+// result fields (written by the stitch goroutine before the state flips
+// to done under the mutex).
+type job struct {
+	id    string
+	spec  jobSpec
+	state string
+	shards []shardSlot
+	// doneSims accumulates completed leases' counts; live leases add
+	// their latest heartbeat on top (see Server.statusLocked).
+	doneSims int
+	requeues int
+	errMsg   string
+
+	events []Event
+	// notify is closed and replaced on every event append — a broadcast
+	// that wakes all streaming watchers.
+	notify chan struct{}
+
+	// ctx is canceled by DELETE /v1/jobs/{id} (and observed by the
+	// stitch); cancel is idempotent.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Exactly one of eval/search is set once the stitch succeeds.
+	eval   *dse.Evaluation
+	search *dse.SearchResult
+}
+
+func newJob(id string, spec jobSpec) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id:     id,
+		spec:   spec,
+		state:  stateQueued,
+		shards: make([]shardSlot, spec.Shards),
+		notify: make(chan struct{}),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+}
+
+// emit appends one event (caller holds the server mutex) and wakes the
+// watchers. The job id is filled in here.
+func (j *job) emit(ev Event) {
+	ev.Seq = len(j.events)
+	ev.Job = j.id
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// counts summarizes the shard states.
+func (j *job) counts() ShardCounts {
+	c := ShardCounts{Total: len(j.shards)}
+	for _, sh := range j.shards {
+		switch sh.state {
+		case shardPending:
+			c.Pending++
+		case shardLeased:
+			c.Leased++
+		case shardDone:
+			c.Done++
+		}
+	}
+	return c
+}
+
+// render produces the job's final result in the requested format.
+// "csv" and "table" are byte-identical to `sttexplore dse` stdout for
+// the same space/search/seed/budget (-csv and the default table,
+// respectively) — that is the service's core output contract. "json"
+// is the structured form.
+func (j *job) render(format string) ([]byte, string, error) {
+	sp := j.spec.Space
+	switch format {
+	case "", "csv":
+		if j.search != nil {
+			return []byte(fmt.Sprintf("# dse-%s guided search: seed %d, budget %d\n%s\n",
+				sp.Name, j.search.Seed, j.search.Budget, j.search.PointsTable().CSV())), "text/csv; charset=utf-8", nil
+		}
+		return []byte(fmt.Sprintf("# dse-%s\n%s\n", sp.Name, j.eval.PointsTable().CSV())), "text/csv; charset=utf-8", nil
+	case "table":
+		if j.search != nil {
+			return []byte(j.search.FrontierTable(0).Render() + "\n"), "text/plain; charset=utf-8", nil
+		}
+		return []byte(j.eval.FrontierTable(0).Render() + "\n"), "text/plain; charset=utf-8", nil
+	case "json":
+		data, err := json.Marshal(j.resultJSON())
+		if err != nil {
+			return nil, "", err
+		}
+		return append(data, '\n'), "application/json", nil
+	}
+	return nil, "", fmt.Errorf("unknown format %q (want csv, table or json)", format)
+}
+
+// resultPoint is one evaluated design point in the JSON result.
+type resultPoint struct {
+	Label      string   `json:"label"`
+	Axes       []string `json:"axes,omitempty"`
+	PenaltyPct float64  `json:"penalty_pct"`
+	EnergyUJ   float64  `json:"energy_uj"`
+	AreaMM2    float64  `json:"area_mm2"`
+	Rank       int      `json:"rank"`
+	Proposal   bool     `json:"proposal,omitempty"`
+	Reference  bool     `json:"reference,omitempty"`
+}
+
+type resultDoc struct {
+	Space   string        `json:"space"`
+	Benches []string      `json:"benches"`
+	Search  string        `json:"search"`
+	Seed    int64         `json:"seed,omitempty"`
+	Budget  int           `json:"budget,omitempty"`
+	Points  []resultPoint `json:"points"`
+}
+
+func (j *job) resultJSON() resultDoc {
+	ev := j.eval
+	doc := resultDoc{Space: j.spec.Space.Name, Search: j.spec.Search}
+	if j.search != nil {
+		ev = &j.search.Evaluation
+		doc.Seed, doc.Budget = j.search.Seed, j.search.Budget
+	}
+	doc.Benches = ev.Benches
+	for _, p := range ev.Points {
+		doc.Points = append(doc.Points, resultPoint{
+			Label:      p.Point.Label,
+			Axes:       p.Point.Labels,
+			PenaltyPct: p.Obj.PenaltyPct,
+			EnergyUJ:   p.Obj.EnergyUJ,
+			AreaMM2:    p.Obj.AreaMM2,
+			Rank:       p.Rank,
+			Proposal:   p.Proposal,
+			Reference:  p.Reference,
+		})
+	}
+	return doc
+}

@@ -435,11 +435,13 @@ func (s *System) replayOnce(ck *compile.Compiled, tr *cpu.Trace) (*RunResult, er
 type ReplayCtl = cpu.ReplayCtl
 
 // ReplayCompiledCtl is ReplayCompiled with partial-replay control: the
-// warm-up pass honors only MaxRecords (its cycle counts are discarded,
-// so aborting it would save nothing and desynchronize cache contents
-// between abort-on and abort-off runs), while the measured pass gets the
-// full control block. The returned bool reports whether the measured
-// pass was aborted by ctl.Abort. With a nil ctl this is exactly
+// warm-up pass honors only MaxRecords and Interrupt (its cycle counts
+// are discarded, so Abort-ing it would save nothing and desynchronize
+// cache contents between abort-on and abort-off runs — but a
+// cancellation Interrupt must still reach it, or half of every replay
+// would be uncancellable), while the measured pass gets the full
+// control block. The returned bool reports whether the measured pass
+// was aborted by ctl.Abort. With a nil ctl this is exactly
 // ReplayCompiled.
 func (s *System) ReplayCompiledCtl(ck *compile.Compiled, tr *cpu.Trace, ctl *ReplayCtl) (*RunResult, bool, error) {
 	if !s.Cfg.ColdStart {

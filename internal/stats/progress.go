@@ -9,23 +9,25 @@ import (
 // RunEvent describes one completed task inside a (possibly parallel)
 // experiment batch. The run engine emits exactly one event per task
 // actually executed — memoized cache hits and deduplicated duplicate
-// requests do not produce events.
+// requests do not produce events. The JSON form is the wire format the
+// sweep service's event stream carries (internal/serve); Wall marshals
+// as integer nanoseconds.
 type RunEvent struct {
 	// Key is the engine's deduplication key for the run.
-	Key string
+	Key string `json:"key"`
 	// Label is a human-readable description ("gemm on stt-vwb").
-	Label string
+	Label string `json:"label"`
 	// Wall is the wall-clock time the task itself took to execute.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Cached reports that the task was served from the persistent
 	// evaluation store (internal/store) rather than simulated — the
 	// timing model never ran.
-	Cached bool
+	Cached bool `json:"cached,omitempty"`
 
 	// Counter snapshot at the moment the event is emitted.
-	Done     int // tasks completed so far, this one included
-	InFlight int // tasks currently executing on a worker
-	Queued   int // tasks waiting for a free worker slot
+	Done     int `json:"done"`      // tasks completed so far, this one included
+	InFlight int `json:"in_flight"` // tasks currently executing on a worker
+	Queued   int `json:"queued"`    // tasks waiting for a free worker slot
 }
 
 // ProgressFunc observes RunEvents. The run engine delivers events one at
@@ -40,23 +42,23 @@ type ProgressFunc func(RunEvent)
 // full-suite evaluations have landed.
 type SearchEvent struct {
 	// Generation is the 0-based generation number.
-	Generation int
+	Generation int `json:"generation"`
 	// Candidates counts the new genomes proposed this generation.
-	Candidates int
+	Candidates int `json:"candidates"`
 	// Promoted counts the rung survivors promoted to the full suite.
-	Promoted int
+	Promoted int `json:"promoted"`
 	// Aborted counts this generation's full evaluations stopped early
 	// because their partial objective vector was provably dominated.
-	Aborted int
+	Aborted int `json:"aborted"`
 	// FullEvals is the cumulative full-suite evaluation count — the
 	// budget consumed so far, aborted evaluations included.
-	FullEvals int
+	FullEvals int `json:"full_evals"`
 	// Budget is the search's full-suite evaluation budget.
-	Budget int
+	Budget int `json:"budget"`
 	// Archive counts the completed evaluations retained so far.
-	Archive int
+	Archive int `json:"archive"`
 	// Frontier counts the archive's current non-dominated points.
-	Frontier int
+	Frontier int `json:"frontier"`
 }
 
 // SearchProgressFunc observes SearchEvents. Events arrive serially from
@@ -128,6 +130,36 @@ func (c *Counters) Cached() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cached
+}
+
+// Snapshot is a point-in-time, wire-serializable aggregate of a
+// Counters — the progress payload sweep-service workers put in their
+// lease heartbeats and the server folds into a job's event stream
+// (internal/serve).
+type Snapshot struct {
+	// Runs counts the tasks observed so far.
+	Runs int `json:"runs"`
+	// Cached counts the observed tasks served from the persistent store.
+	Cached int `json:"cached,omitempty"`
+	// BusyNS is the summed wall time of the observed tasks, in
+	// nanoseconds — the serial-equivalent cost so far.
+	BusyNS int64 `json:"busy_ns"`
+	// MaxInFlight and MaxQueued are the peak engine queue depths.
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueued   int `json:"max_queued"`
+}
+
+// Snapshot captures the counters' current values.
+func (c *Counters) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		Runs:        c.runs,
+		Cached:      c.cached,
+		BusyNS:      int64(c.wall),
+		MaxInFlight: c.maxInFlight,
+		MaxQueued:   c.maxQueued,
+	}
 }
 
 // Summary renders the counters as one line, e.g.

@@ -30,6 +30,44 @@ cmp "$bin_dir/cold.csv" "$bin_dir/warm.csv" # warm must be byte-identical
 cold_ms=$((t1 - t0))
 warm_ms=$((t2 - t1))
 
+# Sweep service (DESIGN.md §7.8): cold vs warm job latency through a
+# two-worker `serve` instance, then sustained warm jobs per second.
+# The warm job is answered from the server's stitch-suite memo, so the
+# acceptance bar is a >=10x speedup over the cold job.
+serve_store=$(mktemp -d)
+trap 'rm -rf "$bin_dir" "$store_dir" "$serve_store"' EXIT
+"$bin_dir/sttexplore" serve -addr 127.0.0.1:0 -addr-file "$bin_dir/addr" \
+	-store "$serve_store" -workers 2 &
+serve_pid=$!
+while [ ! -s "$bin_dir/addr" ]; do sleep 0.1; done
+addr=$(cat "$bin_dir/addr")
+
+t0=$(now_ms)
+"$bin_dir/sttexplore" submit -connect "$addr" -space "$space" -shards 2 \
+	-format csv >"$bin_dir/serve_cold.csv"
+t1=$(now_ms)
+"$bin_dir/sttexplore" submit -connect "$addr" -space "$space" -shards 2 \
+	-format csv >"$bin_dir/serve_warm.csv"
+t2=$(now_ms)
+cmp "$bin_dir/serve_cold.csv" "$bin_dir/serve_warm.csv"
+cmp "$bin_dir/cold.csv" "$bin_dir/serve_cold.csv" # service == single-process dse
+serve_cold_ms=$((t1 - t0))
+serve_warm_ms=$((t2 - t1))
+
+warm_jobs=${WARM_JOBS:-20}
+t0=$(now_ms)
+i=0
+while [ "$i" -lt "$warm_jobs" ]; do
+	"$bin_dir/sttexplore" submit -connect "$addr" -space "$space" -shards 2 \
+		-format csv >/dev/null
+	i=$((i + 1))
+done
+t1=$(now_ms)
+warm_total_ms=$((t1 - t0))
+
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+
 gobench=$(go test -run '^$' -bench '^BenchmarkStoreSweep$' -benchtime "$benchtime" -benchmem .)
 printf '%s\n' "$gobench"
 
@@ -44,6 +82,8 @@ warm_allocs=$(field 'BenchmarkStoreSweep/warm' 7)
 
 awk -v space="$space" \
 	-v cold_ms="$cold_ms" -v warm_ms="$warm_ms" \
+	-v scold_ms="$serve_cold_ms" -v swarm_ms="$serve_warm_ms" \
+	-v wjobs="$warm_jobs" -v wtotal_ms="$warm_total_ms" \
 	-v cns="$cold_ns" -v cb="$cold_bytes" -v ca="$cold_allocs" \
 	-v wns="$warm_ns" -v wb="$warm_bytes" -v wa="$warm_allocs" \
 	'BEGIN {
@@ -53,6 +93,13 @@ awk -v space="$space" \
 		printf "    \"cold_s\": %.3f,\n", cold_ms / 1000
 		printf "    \"warm_s\": %.3f,\n", warm_ms / 1000
 		printf "    \"speedup\": %.1f\n", cold_ms / (warm_ms > 0 ? warm_ms : 1)
+		printf "  },\n"
+		printf "  \"serve\": {\n"
+		printf "    \"workers\": 2,\n"
+		printf "    \"cold_job_s\": %.3f,\n", scold_ms / 1000
+		printf "    \"warm_job_s\": %.3f,\n", swarm_ms / 1000
+		printf "    \"speedup\": %.1f,\n", scold_ms / (swarm_ms > 0 ? swarm_ms : 1)
+		printf "    \"warm_jobs_per_s\": %.1f\n", wjobs * 1000 / (wtotal_ms > 0 ? wtotal_ms : 1)
 		printf "  },\n"
 		printf "  \"gobench\": {\n"
 		printf "    \"cold\": { \"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d },\n", cns, cb, ca

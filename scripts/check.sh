@@ -48,3 +48,26 @@ go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv -store "$store_
 cmp "$tmp_on" "$tmp_off"
 go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv -store "$store_dir" >"$tmp_off"
 cmp "$tmp_on" "$tmp_off"
+
+# Sweep service equivalence (DESIGN.md §7.8): the same smoke sweep
+# submitted to a two-worker `serve` instance on an ephemeral port must
+# come back byte-identical to the single-process dse run above, and the
+# server must drain cleanly on SIGTERM.
+bin_dir=$(mktemp -d)
+serve_store=$(mktemp -d)
+trap 'rm -f "$tmp_on" "$tmp_off"; rm -rf "$store_dir" "$bin_dir" "$serve_store"' EXIT
+go build -o "$bin_dir/sttexplore" ./cmd/sttexplore
+"$bin_dir/sttexplore" serve -addr 127.0.0.1:0 -addr-file "$bin_dir/addr" \
+	-store "$serve_store" -workers 2 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+	[ -s "$bin_dir/addr" ] && break
+	sleep 0.1
+done
+addr=$(cat "$bin_dir/addr")
+"$bin_dir/sttexplore" submit -connect "$addr" -space smoke \
+	-bench atax,gemver -shards 2 -format csv >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
+"$bin_dir/sttexplore" store -dir "$serve_store" stats
+kill -TERM "$serve_pid"
+wait "$serve_pid"
