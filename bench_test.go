@@ -304,6 +304,37 @@ func BenchmarkDSEProposalSweep(b *testing.B) {
 	b.Run("replay", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkReplaySweep measures the replay engine itself on the smoke
+// sweep, cold (no store — every point runs its timing pass) with gang
+// replay on (auto width) and off (one serial replay per
+// configuration). The serial/gang ns/op ratio is the gang engine's
+// speedup; both arms produce byte-identical evaluations (pinned by
+// TestGangWidthsEvaluationIdentity), so only the -benchmem numbers
+// differ. scripts/bench.sh records both arms in BENCH_sweep.json's
+// "replay" section.
+func BenchmarkReplaySweep(b *testing.B) {
+	sp, ok := dse.ByName("smoke")
+	if !ok {
+		b.Fatal("smoke space not registered")
+	}
+	benches := suiteMatrixBenches()
+	run := func(b *testing.B, gang int) {
+		for i := 0; i < b.N; i++ {
+			s := experiments.NewSuiteJobs(benches, 8)
+			s.SetGang(gang)
+			ev, err := dse.Evaluate(s, benches, sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ev.Points) == 0 {
+				b.Fatal("empty evaluation")
+			}
+		}
+	}
+	b.Run("gang", func(b *testing.B) { run(b, 0) })
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+}
+
 // BenchmarkStoreSweep measures the persistent evaluation store's two
 // temperatures on the smoke sweep (DESIGN.md §7.7): "cold" simulates
 // every point into a fresh store directory; "warm" serves the identical

@@ -6,11 +6,11 @@
 //
 //	sttexplore list
 //	sttexplore run [-bench name,name] [-j N] [-v] [-csv] [-check] [-replay on|off] [-store DIR] <id>|all|paper
-//	sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench name,name] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
+//	sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench name,name] [-j N] [-gang N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
 //	sttexplore bench [-cfg sram|dropin|vwb|l0|emshr|bypass|hybrid] [-opt] [-n size] [-v] [-check] [-replay on|off] [-store DIR] <kernel>
 //	sttexplore serve [-addr :8080] -store DIR [-workers N]
 //	sttexplore worker -connect URL -store DIR
-//	sttexplore submit -connect URL [-space name] [-shards N] [-format csv]
+//	sttexplore submit -connect URL [-space name] [-shards N] [-format csv] [-top N]
 //	sttexplore store -dir DIR stats|gc [-max-bytes B]
 //
 // run, dse and bench take -cpuprofile/-memprofile to write pprof
@@ -107,11 +107,11 @@ func usageText() string {
 	return fmt.Sprintf(`usage:
   sttexplore list
   sttexplore run [-bench a,b,...] [-j N] [-v] [-csv] [-check] [-replay on|off] [-store DIR] <id>|all|paper
-  sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench a,b,...] [-j N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
+  sttexplore dse [-space name] [-search exhaustive|guided] [-budget N] [-seed S] [-bench a,b,...] [-j N] [-gang N] [-v] [-csv] [-top N] [-check] [-replay on|off] [-store DIR] [-shard i/n]
   sttexplore bench [-cfg %s] [-opt] [-n size] [-v] [-check] [-replay on|off] [-store DIR] <kernel>
   sttexplore serve [-addr :8080] -store DIR [-workers N] [-j N] [-queue N] [-shards N] [-lease-ttl D] [-drain D] [-addr-file FILE] [-v]
   sttexplore worker -connect URL -store DIR [-name s] [-j N] [-poll D] [-v]
-  sttexplore submit -connect URL [-space name] [-axes JSON] [-bench a,b,...] [-search mode] [-budget N] [-seed S] [-shards N] [-check] [-format csv|table|json] [-wait=false] [-v]
+  sttexplore submit -connect URL [-space name] [-axes JSON] [-bench a,b,...] [-search mode] [-budget N] [-seed S] [-shards N] [-check] [-format csv|table|json] [-top N] [-wait=false] [-v]
   sttexplore store -dir DIR stats|gc [-max-bytes B]
 
 run flags:
@@ -149,6 +149,10 @@ dse flags:
   -seed   guided: proposal RNG seed (default 1); equal seeds give
           bit-identical output at any -j
   -top N  keep only the N lowest-penalty rows of the frontier table
+  -gang N gang replay width: walk each captured trace once for N
+          configurations at a time instead of once per configuration
+          (replay mode only; 0 = auto width per benchmark, 1 = off).
+          Results are cycle-identical at any width
   -csv    dump every evaluated point (objectives, dominance rank) as CSV
   -shard i/n
           simulate only the points whose enumeration index ≡ i (mod n)
@@ -191,6 +195,8 @@ submit flags (job client):
   -axes     restrict axes to value subsets, as JSON:
             '{"front-end":["vwb","direct"]}'
   -format   result format: csv (dse -csv bytes), table, json
+  -top N    fetch only the first N result rows (the server pages with
+            ?offset=/?limit=; a fetched page says what it omitted)
   -wait     follow the job and print its result (default true;
             -wait=false prints the job id and exits)
   -space/-bench/-search/-budget/-seed/-shards/-check as for dse
@@ -404,6 +410,7 @@ type dseFlagVals struct {
 	budget     *int
 	seed       *int64
 	shard      *string
+	gang       *int
 }
 
 func newDseFlagSet() (*flag.FlagSet, *dseFlagVals) {
@@ -415,6 +422,7 @@ func newDseFlagSet() (*flag.FlagSet, *dseFlagVals) {
 		budget:     fs.Int("budget", 64, "guided search: full-suite evaluation budget"),
 		seed:       fs.Int64("seed", 1, "guided search: proposal RNG seed (printed in the report header)"),
 		shard:      fs.String("shard", "", "simulate only shard i/n of the space into the store (exhaustive + -store only)"),
+		gang:       fs.Int("gang", 0, "gang replay width: configurations per trace walk (0 = auto per benchmark, 1 = off); results are cycle-identical at any width"),
 	}
 	v.benchList = fs.String("bench", "", "comma-separated benchmark subset (default: all)")
 	v.verbose = fs.Bool("v", false, "log each simulation")
@@ -611,6 +619,7 @@ func cmdDse(args []string) error {
 	suite.SetCheck(*checked)
 	suite.SetReplay(useReplay)
 	suite.SetStore(st)
+	suite.SetGang(*v.gang)
 	var counters stats.Counters
 	progress := newProgressLine(os.Stderr, *verbose)
 	suite.SetProgress(func(ev stats.RunEvent) {

@@ -106,6 +106,7 @@ type submitFlagVals struct {
 	shards    *int
 	check     *bool
 	format    *string
+	top       *int
 	wait      *bool
 	verbose   *bool
 }
@@ -123,6 +124,7 @@ func newSubmitFlagSet() (*flag.FlagSet, *submitFlagVals) {
 		shards:    fs.Int("shards", 0, "partition the exhaustive sweep into this many worker leases (0 = server default)"),
 		check:     fs.Bool("check", false, "run every simulation under the timing-contract oracle"),
 		format:    fs.String("format", "csv", "result format: csv, table or json"),
+		top:       fs.Int("top", 0, "fetch only the first N result rows (server-side ?limit= paging; 0 = all)"),
 		wait:      fs.Bool("wait", true, "follow the job and print its result (false: print the job id and exit)"),
 		verbose:   fs.Bool("v", false, "stream job events to stderr while waiting"),
 	}
@@ -399,7 +401,7 @@ func cmdSubmit(args []string) error {
 		}
 		switch st.State {
 		case "done":
-			return printResult(base, js.ID, *v.format)
+			return printResult(base, js.ID, *v.format, *v.top)
 		case "failed":
 			return fmt.Errorf("job %s failed: %s", js.ID, st.Error)
 		case "canceled":
@@ -461,8 +463,15 @@ func followEvents(base, id string, verbose bool) error {
 	return sc.Err()
 }
 
-func printResult(base, id, format string) error {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/result?format=" + format)
+// printResult fetches the job result and copies it to stdout. top > 0
+// asks the server for the first top rows only (?limit= paging), so a
+// mega-space result never ships in full just to show its head.
+func printResult(base, id, format string, top int) error {
+	url := base + "/v1/jobs/" + id + "/result?format=" + format
+	if top > 0 {
+		url += fmt.Sprintf("&limit=%d", top)
+	}
+	resp, err := http.Get(url)
 	if err != nil {
 		return err
 	}

@@ -144,7 +144,12 @@ type Cache struct {
 	setShift  uint
 	bankMask  int
 
-	sets     [][]line
+	sets [][]line
+	// mru is a per-set probe hint: the way of the set's last hit.
+	// Access streams are line-local, so lookup checks it before the way
+	// scan. Purely an optimization — the returned way is identical with
+	// or without it, and it is never consulted for replacement.
+	mru      []int32
 	bankFree []int64
 	// sramFree is the SRAM partition's private per-bank busy-until
 	// clocks (nil unless SRAMWays > 0): the fast ways sit in their own
@@ -237,6 +242,7 @@ func New(cfg Config, next mem.Port) *Cache {
 	for i := range c.sets {
 		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
+	c.mru = make([]int32, cfg.Sets())
 	c.bankFree = make([]int64, cfg.Banks)
 	if cfg.SRAMWays > 0 {
 		c.sramFree = make([]int64, cfg.Banks)
@@ -283,8 +289,14 @@ func log2(n int) int {
 // this runs once per simulated access.
 func (c *Cache) lookup(set int, tag mem.Addr) int {
 	ways := c.sets[set]
+	if m := c.mru[set]; int(m) < len(ways) {
+		if ln := &ways[m]; ln.valid && ln.tag == tag {
+			return int(m)
+		}
+	}
 	for w := range ways {
 		if ways[w].valid && ways[w].tag == tag {
+			c.mru[set] = int32(w)
 			return w
 		}
 	}

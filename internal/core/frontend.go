@@ -51,6 +51,23 @@ func (d *Direct) Access(now int64, req mem.Req) int64 {
 // Stats implements FrontEnd.
 func (d *Direct) Stats() mem.Stats { return d.stats }
 
+// Port returns the wrapped DL1-side port. The replay kernel registry
+// (cpu.ShapeOf) unwraps a bare Direct front-end through it to call the
+// cache concretely.
+func (d *Direct) Port() mem.Port { return d.dl1 }
+
+// RecordBulk folds pre-counted demand accesses of each class into the
+// stats in one call. The ShapeDirect replay kernel skips the per-access
+// Record — the class tallies are configuration-invariant properties of
+// the trace prefix that retired — and reconciles here at end of pass,
+// which is exact because Direct records every access as a miss
+// (hit-tracking lives in the DL1 behind it).
+func (d *Direct) RecordBulk(reads, writes, prefetches uint64) {
+	d.stats.Reads += reads
+	d.stats.Writes += writes
+	d.stats.Prefetches += prefetches
+}
+
 // Name implements FrontEnd.
 func (d *Direct) Name() string { return "direct" }
 
@@ -112,6 +129,11 @@ type buffer struct {
 	// find checks the previous hit's slot before scanning. Purely an
 	// optimization — never consulted for replacement decisions.
 	lastHit int
+
+	// full latches once every entry is valid, letting victim skip its
+	// invalid-slot scan; invalidate and reset clear it (the EMSHR kills
+	// single retained lines on stores, so free slots can reappear).
+	full bool
 }
 
 type pfEntry struct {
@@ -174,10 +196,13 @@ const specProtect = 48
 // victim returns the next entry to replace at time now (preferring
 // invalid slots, then unprotected LRU).
 func (b *buffer) victim(now int64) *entry {
-	for i := range b.entries {
-		if !b.entries[i].valid {
-			return &b.entries[i]
+	if !b.full {
+		for i := range b.entries {
+			if !b.entries[i].valid {
+				return &b.entries[i]
+			}
 		}
+		b.full = true
 	}
 	if b.policy == EvictFIFO {
 		e := &b.entries[b.fifoNext]
@@ -205,6 +230,13 @@ func (b *buffer) victim(now int64) *entry {
 		}
 	}
 	return best
+}
+
+// invalidate kills one entry and re-arms victim's invalid-slot scan so
+// the freed slot is reused before any valid line is evicted.
+func (b *buffer) invalidate(e *entry) {
+	e.valid = false
+	b.full = false
 }
 
 func (b *buffer) touch(e *entry) {
@@ -235,6 +267,7 @@ func (b *buffer) reset() {
 	b.useClock = 0
 	b.fifoNext = 0
 	b.lastHit = 0
+	b.full = false
 }
 
 // lines returns the number of entries (for tests).

@@ -26,9 +26,7 @@ import (
 	"fmt"
 	"sync"
 
-	"sttdl1/internal/cache"
 	"sttdl1/internal/isa"
-	"sttdl1/internal/mem"
 )
 
 // Trace is the retired-instruction stream of one functional execution.
@@ -368,7 +366,32 @@ func (c *CPU) ReplayTrace(prog *isa.Program, tr *Trace) (*Result, error) {
 // statistics of exactly the retired prefix (the prefix cycle count is a
 // lower bound of the full run's). With a nil ctl it is exactly
 // ReplayTrace.
+//
+// The pass runs on the kernel registry (kernel.go): the port topology
+// selects a specialized loop variant once, and this driver walks the
+// trace in chunks bounded by the next Abort/Interrupt probe point, so
+// the per-record probe arithmetic the loop used to carry is gone — a
+// probe every K records is a kernel call of K records, and the common
+// probe-free replay is a single kernel call over the whole trace.
 func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Result, bool, error) {
+	return c.replayShaped(prog, tr, ctl, ShapeOf(c.IMem, c.DMem))
+}
+
+// ReplayTraceShaped is ReplayTraceCtl with the kernel shape pinned
+// instead of auto-selected — the equivalence harness uses it to diff
+// every specialized variant against ShapeGeneric on identical systems.
+// shape must not claim capabilities the ports lack (at most ShapeOf's
+// pick); ShapeGeneric is always valid.
+func (c *CPU) ReplayTraceShaped(prog *isa.Program, tr *Trace, ctl *ReplayCtl, shape KernelShape) (*Result, bool, error) {
+	if shape != ShapeGeneric {
+		if max := ShapeOf(c.IMem, c.DMem); shape > max {
+			return nil, false, fmt.Errorf("cpu: kernel shape %v not applicable to this port topology (max %v)", shape, max)
+		}
+	}
+	return c.replayShaped(prog, tr, ctl, shape)
+}
+
+func (c *CPU) replayShaped(prog *isa.Program, tr *Trace, ctl *ReplayCtl, shape KernelShape) (*Result, bool, error) {
 	cfg := c.Cfg
 	if cfg.IssueWidth <= 0 {
 		cfg.IssueWidth = 2
@@ -388,59 +411,15 @@ func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Res
 		tc = countTrace(tr.PCs, dec)
 	}
 	mp := tr.mispredicts(cfg.BpredEntries)
-	mpIdx := mp.idx
-	nextMp, mpK := -1, 0
-	if len(mpIdx) > 0 {
-		nextMp = int(mpIdx[0])
+
+	st := &replayState{}
+	st.init(&cfg, c.IMem, c.DMem, tr, dec, mp.idx)
+	if shape == ShapeDirect {
+		st.bindDirect(c.DMem)
 	}
+	kern := kernels[shape]
 
-	res := &Result{State: tr.Final}
-	// The replay register file: architectural slots plus the two dummy
-	// slots (srcDummy stays zero/ALU forever; dstDummy is a sink).
-	var ready [replayRegs + 2]int64
-	var prodv [replayRegs + 2]uint8
-	var (
-		lastIssue  int64
-		slotsUsed  int
-		fetchLast  int64
-		fetchSlots int
-		redirectAt int64
-		divFree    int64
-		maxDone    int64
-		drainTail  int64
-		// Stall accumulators stay in registers across the loop and are
-		// folded into res once at the end.
-		fetchStall int64
-		readStall  int64
-		writeStall int64
-	)
-	var sbufArr, lqArr [16]int64
-	sbuf := queueSlots(sbufArr[:], cfg.StoreBufDepth)
-	sbHead := 0
-	lq := queueSlots(lqArr[:], cfg.LoadQueueDepth)
-	lqHead := 0
-
-	imem, dmem := c.IMem, c.DMem
-	codeBase := mem.Addr(cfg.CodeBase)
-	penalty := cfg.MispredictPenalty
-
-	// Fetch fast path: when the instruction side is a bare cache (no
-	// oracle wrapper, no front-end buffer), fetches are served through an
-	// open cache.FetchStream — the per-fetch arithmetic (bank busy chain,
-	// conflict cycles, hit-under-fill cap) happens inline here on the
-	// stream's exported state, and the batched counter updates flush
-	// exactly once when the stream closes: at a fetch miss (which must go
-	// through the generic path) and at the end of the replay. See
-	// cache.FetchStream for the exactness argument.
-	il1, fastFetch := imem.(*cache.Cache)
-	var fs cache.FetchStream
-	var il1Shift uint
-	if fastFetch {
-		fs.Init(il1)
-		il1Shift = il1.LineShift()
-	}
-
-	pcs, addrs := tr.PCs, tr.Addrs
+	pcs := tr.PCs
 	n := len(pcs)
 	budgeted := uint64(n) > cfg.MaxInsts
 	if budgeted {
@@ -451,11 +430,11 @@ func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Res
 		n = ctl.MaxRecords
 		truncated, budgeted = true, false // the prefix retires within budget
 	}
-	nextProbe := -1 // i+1 of the next Abort probe (-1 = never)
+	nextProbe := -1 // record count of the next Abort probe (-1 = never)
 	if ctl != nil && ctl.Abort != nil && ctl.CheckEvery > 0 {
 		nextProbe = ctl.CheckEvery
 	}
-	nextIntr, intrEvery := -1, 0 // i+1 of the next Interrupt probe
+	nextIntr, intrEvery := -1, 0 // record count of the next Interrupt probe
 	if ctl != nil && ctl.Interrupt != nil {
 		intrEvery = ctl.InterruptEvery
 		if intrEvery <= 0 {
@@ -464,172 +443,22 @@ func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Res
 		nextIntr = intrEvery
 	}
 	aborted := false
-	for i := 0; i < n; i++ {
-		pc := int(pcs[i])
-		d := &dec[pc]
-
-		// Instruction fetch through the IL1 (same slotting as RunState).
-		fetchAt := fetchLast
-		if redirectAt > fetchAt {
-			fetchAt = redirectAt
+	for pos := 0; pos < n; {
+		hi := n
+		if nextProbe > 0 && nextProbe < hi {
+			hi = nextProbe
 		}
-		if fetchAt > fetchLast {
-			fetchLast = fetchAt
-			fetchSlots = 1
-		} else {
-			fetchSlots++
-			if fetchSlots > cfg.IssueWidth {
-				fetchLast++
-				fetchAt = fetchLast
-				fetchSlots = 1
-			}
+		if nextIntr > 0 && nextIntr < hi {
+			hi = nextIntr
 		}
-		fetchAddr := codeBase + mem.Addr(pc)*isa.InstBytes
-		var fetchDone int64
-		if fastFetch {
-			if line := fetchAddr >> il1Shift; line == fs.CurLine || fs.Switch(line) {
-				start := fetchAt
-				if bf := *fs.CurBankFree; bf > start {
-					fs.Conflicts += bf - start
-					start = bf
-				}
-				fetchDone = start + fs.Lat
-				*fs.CurBankFree = start + fs.Ival
-				fs.Seq++
-				if fetchDone < fs.CurReady {
-					fs.HUF += fs.CurReady - fetchDone
-					fetchDone = fs.CurReady
-				}
-			} else {
-				// Fetch miss: Switch closed the stream, so the generic
-				// access (which installs the line) sees consistent state.
-				fetchDone = imem.Access(fetchAt, mem.Req{Addr: fetchAddr, Bytes: isa.InstBytes, Kind: mem.Fetch})
-			}
-		} else {
-			fetchDone = imem.Access(fetchAt, mem.Req{Addr: fetchAddr, Bytes: isa.InstBytes, Kind: mem.Fetch})
-		}
-
-		base := fetchDone
-		if redirectAt > base {
-			base = redirectAt
-		}
-		if fetchDone > lastIssue+1 {
-			fetchStall += fetchDone - (lastIssue + 1)
-		}
-
-		// Operand readiness over the pre-resolved register indexes
-		// (dummy slots make the reads unconditional). Load attribution
-		// (RunState's opndLoad, with its OR-on-tie rule) is equivalent to
-		// "some register whose readiness equals the maximum was produced
-		// by a load", so it is only computed on the rare stalling path
-		// instead of being threaded through every max step; the dummy
-		// source is pinned at ready 0 / ALU and never misattributes.
-		opnd := ready[d.srcA]
-		if r := ready[d.srcB]; r > opnd {
-			opnd = r
-		}
-		if r := ready[d.srcD]; r > opnd {
-			opnd = r
-		}
-
-		issue := base
-		if opnd > issue {
-			if (ready[d.srcA] == opnd && prodv[d.srcA] == prodLoad) ||
-				(ready[d.srcB] == opnd && prodv[d.srcB] == prodLoad) ||
-				(ready[d.srcD] == opnd && prodv[d.srcD] == prodLoad) {
-				readStall += opnd - issue
-			}
-			issue = opnd
-		}
-		if d.flags&dfDiv != 0 && divFree > issue {
-			issue = divFree
-		}
-		if m := d.mem; m != 0 {
-			if m == 's' {
-				if slot := sbuf[sbHead]; slot > issue {
-					writeStall += slot - issue
-					issue = slot
-				}
-			} else if m == 'l' {
-				if slot := lq[lqHead]; slot > issue {
-					readStall += slot - issue
-					issue = slot
-				}
-			}
-		}
-
-		if issue < lastIssue {
-			issue = lastIssue
-		}
-		if issue == lastIssue {
-			if slotsUsed >= cfg.IssueWidth {
-				issue++
-				slotsUsed = 1
-			} else {
-				slotsUsed++
-			}
-		} else {
-			slotsUsed = 1
-		}
-		lastIssue = issue
-
-		// Class counters (Insts, Loads, Branches, Mispredicts, ...) are
-		// configuration-invariant trace properties; they are filled in
-		// once after the loop instead of being counted per record.
-		done := issue + int64(d.lat)
-		prod := prodALU
-		if d.mem != 0 {
-			switch d.mem {
-			case 'l':
-				done = dmem.Access(issue+1, mem.Req{Addr: mem.Addr(addrs[i]), Bytes: int(d.accessBytes), Kind: mem.Read})
-				prod = prodLoad
-				lq[lqHead] = done
-				if lqHead++; lqHead == cfg.LoadQueueDepth {
-					lqHead = 0
-				}
-			case 's':
-				start := issue + 1
-				if drainTail > start {
-					start = drainTail
-				}
-				retire := dmem.Access(start, mem.Req{Addr: mem.Addr(addrs[i]), Bytes: int(d.accessBytes), Kind: mem.Write})
-				drainTail = retire
-				sbuf[sbHead] = retire
-				if sbHead++; sbHead == cfg.StoreBufDepth {
-					sbHead = 0
-				}
-				done = issue + 1
-			case 'p':
-				dmem.Access(issue+1, mem.Req{Addr: mem.Addr(addrs[i]), Bytes: int(d.accessBytes), Kind: mem.Prefetch})
-				done = issue + 1
-			}
-		}
-
-		if d.flags&dfDiv != 0 {
-			divFree = done
-		}
-
-		// Only mispredicted branches redirect; the sparse index list names
-		// exactly those records, so no branch-class test is needed here.
-		if i == nextMp {
-			redirectAt = issue + 1 + penalty
-			nextMp = -1
-			if mpK++; mpK < len(mpIdx) {
-				nextMp = int(mpIdx[mpK])
-			}
-		}
-
-		ready[d.dst] = done
-		prodv[d.dst] = prod
-		if done > maxDone {
-			maxDone = done
-		}
+		kern(st, pos, hi)
+		pos = hi
 		// Abort probe: maxDone only grows, so it is a sound lower bound
 		// of the pass's final cycle count at every probe point.
-		if i+1 == nextProbe {
-			if ctl.Abort(maxDone) {
+		if pos == nextProbe {
+			if ctl.Abort(st.maxDone) {
 				aborted = true
-				n = i + 1
+				n = pos
 				break
 			}
 			nextProbe += ctl.CheckEvery
@@ -637,54 +466,52 @@ func (c *CPU) ReplayTraceCtl(prog *isa.Program, tr *Trace, ctl *ReplayCtl) (*Res
 		// Interrupt probe: abandon the pass with the probe's error. The
 		// whole System is discarded with it, so the open fetch stream's
 		// unflushed bookkeeping is irrelevant.
-		if i+1 == nextIntr {
+		if pos == nextIntr {
 			if err := ctl.Interrupt(); err != nil {
 				return nil, false, err
 			}
 			nextIntr += intrEvery
 		}
 	}
-	fs.Close()
-	res.FetchStallCycles = fetchStall
-	res.ReadStallCycles = readStall
-	res.WriteStallCycles = writeStall
+	st.fs.Close()
 
 	if budgeted || truncated || aborted {
 		// The partial result mirrors a live run's state at the cut:
 		// counters over the n records that did retire.
 		tc = countTrace(pcs[:n], dec)
+		if st.feDirect != nil {
+			st.feDirect.RecordBulk(tc.loads, tc.stores, tc.prefetches)
+		}
+		res := &Result{State: tr.Final}
+		res.FetchStallCycles = st.fetchStall
+		res.ReadStallCycles = st.readStall
+		res.WriteStallCycles = st.writeStall
 		res.Insts = uint64(n)
 		res.Loads, res.Stores, res.Prefetches = tc.loads, tc.stores, tc.prefetches
 		res.VecLoads, res.VecStores = tc.vecLoads, tc.vecStores
 		res.Branches = tc.branches
 		var mc uint64
-		for _, ix := range mpIdx {
+		for _, ix := range st.mpIdx {
 			if int(ix) >= n {
 				break
 			}
 			mc++
 		}
 		res.Mispredicts = mc
-		res.BranchStallCycles = int64(mc) * penalty
+		res.BranchStallCycles = int64(mc) * cfg.MispredictPenalty
 		if budgeted {
 			return res, false, &Fault{PC: int(pcs[n]), Msg: fmt.Sprintf("instruction budget %d exhausted (runaway loop?)", cfg.MaxInsts)}
 		}
-		if drainTail > maxDone {
-			maxDone = drainTail
+		maxDone := st.maxDone
+		if st.drainTail > maxDone {
+			maxDone = st.drainTail
 		}
 		res.Cycles = maxDone
 		return res, aborted, nil
 	}
 
-	res.Insts = uint64(n)
-	res.Loads, res.Stores, res.Prefetches = tc.loads, tc.stores, tc.prefetches
-	res.VecLoads, res.VecStores = tc.vecLoads, tc.vecStores
-	res.Branches = tc.branches
-	res.Mispredicts = uint64(len(mpIdx))
-	res.BranchStallCycles = int64(len(mpIdx)) * penalty
-	if drainTail > maxDone {
-		maxDone = drainTail
+	if st.feDirect != nil {
+		st.feDirect.RecordBulk(tc.loads, tc.stores, tc.prefetches)
 	}
-	res.Cycles = maxDone
-	return res, false, nil
+	return st.finishFull(tc, n, tr.Final), false, nil
 }

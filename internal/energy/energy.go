@@ -13,7 +13,7 @@
 package energy
 
 import (
-	"fmt"
+	"strconv"
 
 	"sttdl1/internal/sim"
 	"sttdl1/internal/tech"
@@ -263,9 +263,27 @@ func ModelKey(cfg sim.Config) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("emodel1|rd=%g,wr=%g|leak=%g|area=%g|rpj=%g,wpj=%g|buf=%g,%g,%g,%g|gate=%g",
-		m.ReadNs, m.WriteNs, m.LeakageMW, m.AreaMM2, m.ReadPJ, m.WritePJ,
-		bufRowReadPJ, bufRowMatchPJ, float64(bufFlopF2), camRowAreaOvh, wayGateFrac), nil
+	// Rendered with AppendFloat into one buffer: this runs once per
+	// store-key derivation, and the fmt.Sprintf it replaces boxed every
+	// operand on the warm sweep path.
+	b := make([]byte, 0, 160)
+	g := func(prefix string, v float64) {
+		b = append(b, prefix...)
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	b = append(b, "emodel1"...)
+	g("|rd=", m.ReadNs)
+	g(",wr=", m.WriteNs)
+	g("|leak=", m.LeakageMW)
+	g("|area=", m.AreaMM2)
+	g("|rpj=", m.ReadPJ)
+	g(",wpj=", m.WritePJ)
+	g("|buf=", bufRowReadPJ)
+	g(",", bufRowMatchPJ)
+	g(",", float64(bufFlopF2))
+	g(",", camRowAreaOvh)
+	g("|gate=", wayGateFrac)
+	return string(b), nil
 }
 
 // Buffered reports whether cfg places a retained-line buffer (VWB, L0

@@ -53,6 +53,11 @@ type Suite struct {
 	// timing model; results are byte-identical either way, so the memo
 	// key does not include it.
 	store *store.Store
+	// gang is the gang-replay width for batch prefetches (DESIGN.md
+	// §7.9): 0 picks a width per benchmark, 1 disables ganging, larger
+	// values apply as given. Gang replay is cycle-identical to serial
+	// replay, so the memo key does not include it.
+	gang int
 }
 
 // NewSuite builds a suite over the given benchmarks (nil = all) with the
@@ -95,6 +100,30 @@ func (s *Suite) SetCheck(on bool) { s.check = on }
 // changes figures, and memoized results are shared across modes. Install
 // it before running experiments.
 func (s *Suite) SetReplay(on bool) { s.replay = on }
+
+// SetGang sets the gang-replay width — how many configurations one
+// trace walk carries in batch prefetches (the sttexplore -gang flag).
+// 0 (the default) picks a width per benchmark, 1 disables ganging, and
+// widths above 1 apply as given. Ganging requires replay mode; it is
+// purely a performance mode (every gang member's result is
+// cycle-identical to its own serial replay), so flipping it never
+// changes figures and memoized results are shared across modes.
+func (s *Suite) SetGang(n int) { s.gang = n }
+
+// gangWidthFor resolves the effective gang width for one benchmark.
+func (s *Suite) gangWidthFor(b polybench.Bench) int {
+	if s.gang > 1 {
+		return s.gang
+	}
+	// Auto width: wide batches amortize the trace walk, but every member
+	// carries a private DL1+L2 model whose hot lines compete in the host
+	// cache, so large problem sizes (bigger live sets per member) gang
+	// narrower.
+	if b.Default > 48 {
+		return 4
+	}
+	return 8
+}
 
 // SetStore installs a persistent evaluation store as a second memo tier
 // behind the in-memory pool (the sttexplore -store flag; off by
@@ -271,14 +300,17 @@ func appendCfgKey(b *strings.Builder, c sim.Config) {
 
 func cfgKey(c sim.Config) string {
 	var b strings.Builder
-	b.Grow(96)
+	// Sized above the longest key the axes render (~170 bytes with real
+	// cell names): an undersized hint costs a second allocation per key,
+	// and the memo hit path rebuilds this key on every lookup.
+	b.Grow(224)
 	appendCfgKey(&b, c)
 	return b.String()
 }
 
 func runKey(b polybench.Bench, cfg sim.Config) string {
 	var sb strings.Builder
-	sb.Grow(96 + len(b.Name))
+	sb.Grow(224 + len(b.Name))
 	sb.WriteString(b.Name)
 	// The problem size must be part of the key: tests rebind
 	// Bench.Default, and a suite mixing sizes of one bench would
@@ -364,8 +396,16 @@ func (s *Suite) Prefetch(benches []polybench.Bench, cfgs ...sim.Config) error {
 
 // PrefetchSpecs fans an explicit batch out over the worker pool. The
 // batch is submitted in sorted key order so the engine's schedule — and
-// therefore its progress stream — is reproducible run to run.
+// therefore its progress stream — is reproducible run to run. In replay
+// mode with ganging enabled, specs sharing one trace (same benchmark,
+// problem size and compile options) are batched into gang replays
+// (DESIGN.md §7.9): each batch occupies a single worker slot and walks
+// the trace once for all of its configurations, with members beyond the
+// batch leader published straight into the memo.
 func (s *Suite) PrefetchSpecs(specs []Spec) error {
+	if s.replay && s.gang != 1 {
+		return s.prefetchGanged(specs)
+	}
 	tasks := make([]runner.Task[string, *sim.RunResult], len(specs))
 	for i, sp := range specs {
 		sp := sp
@@ -388,6 +428,171 @@ func (s *Suite) PrefetchSpecs(specs []Spec) error {
 		return fmt.Errorf("experiments: prefetch: %w", err)
 	}
 	return nil
+}
+
+// gangMember is one configuration of a gang batch with its memo
+// identity.
+type gangMember struct {
+	key, label string
+	cfg        sim.Config
+}
+
+// prefetchGanged is the gang-replay batch scheduler behind
+// PrefetchSpecs. Specs are deduplicated by run key, already-memoized
+// (or in-flight) keys are dropped, the rest are grouped by the trace
+// they replay and chunked into batches of the benchmark's gang width.
+// Each batch runs as one pool task keyed by its first member; the other
+// members' results are published into the memo as the batch completes,
+// so the engine's accounting still sees exactly one completion per
+// unique simulation. Singleton batches take the ordinary serial path.
+func (s *Suite) prefetchGanged(specs []Spec) error {
+	seen := make(map[string]bool, len(specs))
+	type group struct {
+		bench   polybench.Bench
+		members []gangMember
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, sp := range specs {
+		cfg := s.applyCheck(sp.Config)
+		key := runKey(sp.Bench, cfg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, done, inflight := s.pool.Peek(key); done || inflight {
+			continue
+		}
+		gk := sp.Bench.Name + "@" + strconv.Itoa(sp.Bench.Default) + "|" + optKey(sim.CompileOptions(cfg))
+		g := groups[gk]
+		if g == nil {
+			g = &group{bench: sp.Bench}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		g.members = append(g.members, gangMember{key: key, label: runLabel(sp.Bench, cfg), cfg: cfg})
+	}
+	sort.Strings(order)
+
+	var tasks []runner.Task[string, *sim.RunResult]
+	for _, gk := range order {
+		g := groups[gk]
+		// Members in sorted key order: batch composition is then a pure
+		// function of the spec set, never of map iteration or submission
+		// order.
+		sort.Slice(g.members, func(i, j int) bool { return g.members[i].key < g.members[j].key })
+		width := s.gangWidthFor(g.bench)
+		for lo := 0; lo < len(g.members); lo += width {
+			hi := lo + width
+			if hi > len(g.members) {
+				hi = len(g.members)
+			}
+			batch := g.members[lo:hi]
+			bench := g.bench
+			leader := batch[0]
+			if len(batch) == 1 {
+				tasks = append(tasks, runner.Task[string, *sim.RunResult]{
+					Key:   leader.key,
+					Label: leader.label,
+					Run: func(ctx context.Context) (*sim.RunResult, error) {
+						r, cached, err := s.execute(ctx, bench, leader.cfg)
+						if cached {
+							s.pool.NoteCached(leader.key)
+						}
+						return r, err
+					},
+				})
+				continue
+			}
+			tasks = append(tasks, runner.Task[string, *sim.RunResult]{
+				Key:   leader.key,
+				Label: leader.label,
+				Run: func(ctx context.Context) (*sim.RunResult, error) {
+					return s.executeGang(ctx, bench, batch)
+				},
+			})
+		}
+	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Key < tasks[j].Key })
+	if _, err := s.pool.Run(s.ctx, tasks); err != nil {
+		return fmt.Errorf("experiments: prefetch: %w", err)
+	}
+	return nil
+}
+
+// executeGang runs one gang batch under the leader's worker slot: the
+// persistent store tier first per member, one gang replay for the
+// misses, then a serial per-member fallback if the gang path fails
+// (mirroring executeSim's replay-then-live fallback). Members beyond
+// the leader are published into the memo; the leader's result is
+// returned as the task's value.
+func (s *Suite) executeGang(ctx context.Context, b polybench.Bench, members []gangMember) (*sim.RunResult, error) {
+	results := make([]*sim.RunResult, len(members))
+	cached := make([]bool, len(members))
+	var miss []int
+	for i, m := range members {
+		if key, ok := s.storeKey(ctx, b, m.cfg); ok {
+			if rec, hit := s.store.Get(key); hit {
+				rec.Result.Config = sim.ApplyDefaults(m.cfg)
+				results[i] = rec.Result
+				cached[i] = true
+				continue
+			}
+		}
+		miss = append(miss, i)
+	}
+	if len(miss) > 0 {
+		cfgs := make([]sim.Config, len(miss))
+		for j, i := range miss {
+			cfgs[j] = members[i].cfg
+		}
+		rs, err := replay.RunGang(ctx, s.traces, b, cfgs)
+		switch {
+		case err == nil:
+			for j, i := range miss {
+				results[i] = rs[j]
+			}
+			if s.store != nil {
+				for _, i := range miss {
+					if key, ok := s.storeKey(ctx, b, members[i].cfg); ok {
+						_ = s.store.Put(key, store.NewRecord(b.Name, b.Default, results[i]))
+					}
+				}
+			}
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		default:
+			// Gang path failed (e.g. a functional fault, an instruction
+			// budget overrun, an assembly error): fall back to the serial
+			// per-member path, which reproduces the canonical error for the
+			// failing member while the healthy members still complete.
+			for _, i := range miss {
+				r, c, err := s.execute(ctx, b, members[i].cfg)
+				if err != nil {
+					s.publishGang(members, results, cached, i)
+					return nil, err
+				}
+				results[i], cached[i] = r, c
+			}
+		}
+	}
+	s.publishGang(members, results, cached, -1)
+	if cached[0] {
+		s.pool.NoteCached(members[0].key)
+	}
+	return results[0], nil
+}
+
+// publishGang pushes every non-leader member with a result into the
+// memo (skip < 0 publishes all; otherwise member skip and later ones
+// without results are omitted — the fallback stopped there).
+func (s *Suite) publishGang(members []gangMember, results []*sim.RunResult, cached []bool, skip int) {
+	for i := 1; i < len(members); i++ {
+		if i == skip || results[i] == nil {
+			continue
+		}
+		s.pool.Publish(members[i].key, members[i].label, results[i], cached[i])
+	}
 }
 
 // penaltySeries computes per-bench penalties of cfg against base. The

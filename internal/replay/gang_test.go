@@ -1,0 +1,125 @@
+// Gang-replay equivalence suite (DESIGN.md §7.9): walking one trace for
+// a batch of configurations is a pure performance mode, so every
+// member's result must be byte-identical to its own serial replay — at
+// any gang width, under any batch composition, in any member order.
+package replay_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sttdl1/internal/dse"
+	"sttdl1/internal/experiments"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/replay"
+	"sttdl1/internal/sim"
+)
+
+// gangConfigs builds a batch of gang members sharing compile options
+// (the plain arm of the Fig. 3 matrix, cycled to the requested width).
+// Repeats are deliberate: a sound gang must give duplicated members
+// identical results.
+func gangConfigs(width int) []sim.Config {
+	presets := []func() sim.Config{sim.BaselineSRAM, sim.DropInSTT, sim.ProposalVWB}
+	out := make([]sim.Config, width)
+	for i := range out {
+		out[i] = presets[i%len(presets)]()
+	}
+	return out
+}
+
+// TestGangReplayMatchesSerial replays the same members serially and
+// ganged at widths 1, 2 and 8 and demands bit-identical results per
+// member. Because every gang width is compared against the same serial
+// reference, this also pins composition independence: a member's result
+// cannot depend on who else is in its batch.
+func TestGangReplayMatchesSerial(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("unknown benchmark atax")
+	}
+	traces := replay.NewCache()
+	ctx := context.Background()
+	cfgs := gangConfigs(8)
+	serial := make([]*sim.RunResult, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := replay.Run(ctx, traces, b, cfg)
+		if err != nil {
+			t.Fatalf("serial replay %s: %v", cfg.Name, err)
+		}
+		serial[i] = res
+	}
+	for _, width := range []int{1, 2, 8} {
+		for lo := 0; lo < len(cfgs); lo += width {
+			hi := min(lo+width, len(cfgs))
+			batch, err := replay.RunGang(ctx, traces, b, cfgs[lo:hi])
+			if err != nil {
+				t.Fatalf("gang width %d [%d:%d]: %v", width, lo, hi, err)
+			}
+			for i, res := range batch {
+				mustEqualResults(t, b.Name+" gang width "+cfgs[lo+i].Name, serial[lo+i], res)
+			}
+		}
+	}
+}
+
+// TestGangReplayOrderIndependent permutes the batch and checks the
+// results follow the permutation exactly: member order inside a gang is
+// timing-irrelevant.
+func TestGangReplayOrderIndependent(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("unknown benchmark atax")
+	}
+	traces := replay.NewCache()
+	ctx := context.Background()
+	cfgs := gangConfigs(6)
+	perm := []int{4, 2, 0, 5, 1, 3}
+	permuted := make([]sim.Config, len(cfgs))
+	for i, p := range perm {
+		permuted[i] = cfgs[p]
+	}
+	straight, err := replay.RunGang(ctx, traces, b, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := replay.RunGang(ctx, traces, b, permuted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		mustEqualResults(t, "permuted member "+cfgs[p].Name, straight[p], shuffled[i])
+	}
+}
+
+// TestGangWidthsEvaluationIdentity runs the smoke design space through
+// the full suite engine at gang widths 1 (off), 2 and 8 and demands
+// identical evaluations — the end-to-end form of the width-independence
+// contract, through batching, the result store keys and the scoring
+// pipeline.
+func TestGangWidthsEvaluationIdentity(t *testing.T) {
+	sp, ok := dse.ByName("smoke")
+	if !ok {
+		t.Fatal("smoke space not registered")
+	}
+	benches := smokeBenches(t)
+	evalAt := func(width int) *dse.Evaluation {
+		s := experiments.NewSuiteJobs(benches, 2)
+		s.SetReplay(true)
+		s.SetGang(width)
+		ev, err := dse.Evaluate(s, benches, sp)
+		if err != nil {
+			t.Fatalf("evaluate smoke at gang width %d: %v", width, err)
+		}
+		return ev
+	}
+	ref := evalAt(1)
+	for _, width := range []int{2, 8} {
+		got := evalAt(width)
+		if !reflect.DeepEqual(ref.Benches, got.Benches) || !reflect.DeepEqual(ref.Points, got.Points) {
+			t.Errorf("smoke evaluation diverged between gang widths 1 and %d:\nwidth 1 %+v\nwidth %d %+v",
+				width, ref.Points, width, got.Points)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Kernel-registry equivalence suite (DESIGN.md §7.9): the specialized
+// replay kernels are pure performance variants, so every shape must
+// produce results bit-for-bit identical to the generic reference loop,
+// and the shape classification itself must be a total deterministic
+// function of the configuration. These properties extend the §7.4
+// live≡replay contract down one level, to replay≡replay across kernels.
+package replay_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sttdl1/internal/compile"
+	"sttdl1/internal/cpu"
+	"sttdl1/internal/dse"
+	"sttdl1/internal/polybench"
+	"sttdl1/internal/replay"
+	"sttdl1/internal/sim"
+)
+
+// megaConfig derives a deterministic random configuration of the mega
+// design space from a seed (the same construction as dse's canonical-key
+// quick tests); ok is false when the space's constraints prune the
+// genome.
+func megaConfig(t *testing.T, sp dse.Space, seed uint64) (sim.Config, bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	genome := make([]int, len(sp.Axes))
+	for i, a := range sp.Axes {
+		genome[i] = rng.Intn(len(a.Values))
+	}
+	pt, ok := sp.At(genome)
+	return pt.Config, ok
+}
+
+// TestKernelShapeTotalQuick property-tests the registry's classification
+// contract: a random mega-space configuration maps to exactly one kernel
+// shape — the classification never fails, is deterministic, and depends
+// only on the configuration (two systems built from the same config
+// classify identically).
+func TestKernelShapeTotalQuick(t *testing.T) {
+	sp, ok := dse.ByName("mega")
+	if !ok {
+		t.Fatal("mega space not registered")
+	}
+	prop := func(seed uint64) bool {
+		cfg, ok := megaConfig(t, sp, seed)
+		if !ok {
+			return true // pruned genome: no design point to classify
+		}
+		sysA, err := sim.New(cfg)
+		if err != nil {
+			t.Fatalf("sim.New(%s): %v", cfg.Name, err)
+		}
+		sysB, err := sim.New(cfg)
+		if err != nil {
+			t.Fatalf("sim.New(%s): %v", cfg.Name, err)
+		}
+		sA := cpu.ShapeOf(sysA.CPU.IMem, sysA.CPU.DMem)
+		sB := cpu.ShapeOf(sysB.CPU.IMem, sysB.CPU.DMem)
+		return sA == sB && // config-determined, not instance-determined
+			sA == cpu.ShapeOf(sysA.CPU.IMem, sysA.CPU.DMem) && // deterministic
+			sA.String() != "shape(?)" // total: a registered shape
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// kernelCases is the configuration set the kernel equivalence tests run:
+// the full Fig. 3 matrix plus deterministic random mega-space points, so
+// every registry shape is exercised (the matrix alone covers direct and
+// lean; the mega points add the exotic port stacks).
+func kernelCases(t *testing.T) []sim.Config {
+	t.Helper()
+	out := matrixConfigs()
+	sp, ok := dse.ByName("mega")
+	if !ok {
+		t.Fatal("mega space not registered")
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		if cfg, ok := megaConfig(t, sp, seed); ok {
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// TestKernelShapesMatchGeneric forces every applicable kernel shape over
+// each case configuration and demands a bit-for-bit identical cpu.Result
+// against the generic reference loop on the same trace. This is the
+// cycle-exactness contract of the registry itself, independent of the
+// sim-level assembly above it.
+func TestKernelShapesMatchGeneric(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("unknown benchmark atax")
+	}
+	for _, cfg := range kernelCases(t) {
+		ck, err := compile.Compile(b.Kernel(), sim.CompileOptions(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.CaptureTrace(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runShape := func(shape cpu.KernelShape) cpu.Result {
+			sys, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := sys.CPU.ReplayTraceShaped(ck.Prog, tr, nil, shape)
+			if err != nil {
+				t.Fatalf("shape %v on %s: %v", shape, cfg.Name, err)
+			}
+			out := *res
+			out.State = nil
+			return out
+		}
+		probe, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := cpu.ShapeOf(probe.CPU.IMem, probe.CPU.DMem)
+		generic := runShape(cpu.ShapeGeneric)
+		for shape := cpu.ShapeGeneric + 1; shape <= max; shape++ {
+			if got := runShape(shape); got != generic {
+				t.Errorf("%s: kernel shape %v diverged from generic:\ngeneric %+v\n%v %+v",
+					cfg.Name, shape, generic, shape, got)
+			}
+		}
+	}
+}
+
+// TestGenericKernelEnvMatchesNatural pins the escape hatch scripts/
+// check.sh diffs through: a full simulation run (warm-up pass, counter
+// assembly and all) under STTDL1_REPLAY_KERNEL=generic must equal the
+// naturally specialized run on every counter.
+func TestGenericKernelEnvMatchesNatural(t *testing.T) {
+	b, ok := polybench.ByName("atax")
+	if !ok {
+		t.Fatal("unknown benchmark atax")
+	}
+	cases := kernelCases(t)
+	traces := replay.NewCache()
+	ctx := context.Background()
+	natural := make([]*sim.RunResult, len(cases))
+	for i, cfg := range cases {
+		res, err := replay.Run(ctx, traces, b, cfg)
+		if err != nil {
+			t.Fatalf("natural replay %s: %v", cfg.Name, err)
+		}
+		natural[i] = res
+	}
+	t.Setenv("STTDL1_REPLAY_KERNEL", "generic")
+	for i, cfg := range cases {
+		res, err := replay.Run(ctx, traces, b, cfg)
+		if err != nil {
+			t.Fatalf("generic replay %s: %v", cfg.Name, err)
+		}
+		mustEqualResults(t, "generic kernel on "+cfg.Name, natural[i], res)
+	}
+}

@@ -148,6 +148,42 @@ func cancelCtl(ctx context.Context, ctl *sim.ReplayCtl) *sim.ReplayCtl {
 	return &out
 }
 
+// RunGang executes bench b under a batch of configurations in one trace
+// walk (sim.ReplayGang): the memoized compile + capture once, one fresh
+// system per configuration, then gang replay. Results are in cfgs order
+// and each is byte-identical to Run of the same (b, cfg). All
+// configurations must share CompileOptions — they would not share a
+// trace otherwise — and a mismatch is an error, not a silent split.
+// Like Run, a cancellable ctx is probed inside the shared walk.
+func RunGang(ctx context.Context, c *Cache, b polybench.Bench, cfgs []sim.Config) ([]*sim.RunResult, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	opts := sim.CompileOptions(cfgs[0])
+	for i, cfg := range cfgs[1:] {
+		if sim.CompileOptions(cfg) != opts {
+			return nil, fmt.Errorf("replay: gang member %d of %s has different compile options", i+1, b.Name)
+		}
+	}
+	ck, tr, err := c.Trace(ctx, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	systems := make([]*sim.System, len(cfgs))
+	for i, cfg := range cfgs {
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
+	}
+	var interrupt func() error
+	if ctx.Done() != nil {
+		interrupt = func() error { return ctx.Err() }
+	}
+	return sim.ReplayGang(systems, ck, tr, interrupt, 0)
+}
+
 // RunCtl is Run with partial-replay control (truncation and early abort,
 // DESIGN.md §7.5). The returned bool reports whether the measured pass
 // was aborted. Results from a non-nil ctl describe a prefix of the run

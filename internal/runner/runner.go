@@ -90,6 +90,60 @@ func (p *Pool[K, V]) NoteCached(key K) {
 	}
 }
 
+// Peek reports key's memo state without computing anything: done is
+// true (and v valid) when a successful execution is memoized, inflight
+// is true while a leader is still computing it. A key whose execution
+// failed reads as absent (failures are never memoized).
+func (p *Pool[K, V]) Peek(key K) (v V, done, inflight bool) {
+	p.mu.Lock()
+	c, ok := p.calls[key]
+	p.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false, false
+	}
+	select {
+	case <-c.ready:
+		// Completed entries only survive in the map on success.
+		return c.val, true, false
+	default:
+		var zero V
+		return zero, false, true
+	}
+}
+
+// Publish memoizes a result computed outside the pool's task machinery
+// (e.g. one member of a gang replay whose batch ran under a single
+// task's worker slot). It counts as one executed task — done advances
+// and a progress event fires, so engine accounting sees exactly one
+// completion per unique simulation regardless of batching. If the key
+// is already in flight or memoized the call is a no-op returning false:
+// the concurrent execution's value wins (the determinism contract makes
+// the two values identical, so which one lands is unobservable).
+func (p *Pool[K, V]) Publish(key K, label string, v V, cached bool) bool {
+	c := &call[V]{ready: make(chan struct{}), val: v, cached: cached}
+	close(c.ready)
+	p.mu.Lock()
+	if _, ok := p.calls[key]; ok {
+		p.mu.Unlock()
+		return false
+	}
+	p.calls[key] = c
+	p.done++
+	if p.progress != nil {
+		p.progress(stats.RunEvent{
+			Key:      fmt.Sprint(key),
+			Label:    label,
+			Cached:   cached,
+			Done:     p.done,
+			InFlight: p.inflight,
+			Queued:   p.queued,
+		})
+	}
+	p.mu.Unlock()
+	return true
+}
+
 // Do returns the result for key, computing it with fn at most once
 // across all concurrent and future callers. If another caller is already
 // computing key, Do waits for that execution and returns its exact

@@ -45,9 +45,9 @@ func terminal(state string) bool {
 // result fields (written by the stitch goroutine before the state flips
 // to done under the mutex).
 type job struct {
-	id    string
-	spec  jobSpec
-	state string
+	id     string
+	spec   jobSpec
+	state  string
 	shards []shardSlot
 	// doneSims accumulates completed leases' counts; live leases add
 	// their latest heartbeat on top (see Server.statusLocked).
@@ -109,27 +109,31 @@ func (j *job) counts() ShardCounts {
 	return c
 }
 
-// render produces the job's final result in the requested format.
-// "csv" and "table" are byte-identical to `sttexplore dse` stdout for
-// the same space/search/seed/budget (-csv and the default table,
-// respectively) — that is the service's core output contract. "json"
-// is the structured form.
-func (j *job) render(format string) ([]byte, string, error) {
+// render produces the job's final result in the requested format,
+// windowed to rows [offset, offset+limit) when either is positive
+// (results can run to thousands of points on mega spaces; pagination
+// keeps single pages cheap to ship). "csv" and "table" without a
+// window are byte-identical to `sttexplore dse` stdout for the same
+// space/search/seed/budget (-csv and the default table, respectively)
+// — that is the service's core output contract. "json" is the
+// structured form; its window slices the points array and reports the
+// pre-window total.
+func (j *job) render(format string, offset, limit int) ([]byte, string, error) {
 	sp := j.spec.Space
 	switch format {
 	case "", "csv":
 		if j.search != nil {
 			return []byte(fmt.Sprintf("# dse-%s guided search: seed %d, budget %d\n%s\n",
-				sp.Name, j.search.Seed, j.search.Budget, j.search.PointsTable().CSV())), "text/csv; charset=utf-8", nil
+				sp.Name, j.search.Seed, j.search.Budget, j.search.PointsTable().Window(offset, limit).CSV())), "text/csv; charset=utf-8", nil
 		}
-		return []byte(fmt.Sprintf("# dse-%s\n%s\n", sp.Name, j.eval.PointsTable().CSV())), "text/csv; charset=utf-8", nil
+		return []byte(fmt.Sprintf("# dse-%s\n%s\n", sp.Name, j.eval.PointsTable().Window(offset, limit).CSV())), "text/csv; charset=utf-8", nil
 	case "table":
 		if j.search != nil {
-			return []byte(j.search.FrontierTable(0).Render() + "\n"), "text/plain; charset=utf-8", nil
+			return []byte(j.search.FrontierTable(0).Window(offset, limit).Render() + "\n"), "text/plain; charset=utf-8", nil
 		}
-		return []byte(j.eval.FrontierTable(0).Render() + "\n"), "text/plain; charset=utf-8", nil
+		return []byte(j.eval.FrontierTable(0).Window(offset, limit).Render() + "\n"), "text/plain; charset=utf-8", nil
 	case "json":
-		data, err := json.Marshal(j.resultJSON())
+		data, err := json.Marshal(j.resultJSON(offset, limit))
 		if err != nil {
 			return nil, "", err
 		}
@@ -151,15 +155,22 @@ type resultPoint struct {
 }
 
 type resultDoc struct {
-	Space   string        `json:"space"`
-	Benches []string      `json:"benches"`
-	Search  string        `json:"search"`
-	Seed    int64         `json:"seed,omitempty"`
-	Budget  int           `json:"budget,omitempty"`
-	Points  []resultPoint `json:"points"`
+	Space   string   `json:"space"`
+	Benches []string `json:"benches"`
+	Search  string   `json:"search"`
+	Seed    int64    `json:"seed,omitempty"`
+	Budget  int      `json:"budget,omitempty"`
+	// Total is the point count before windowing; Offset is the window's
+	// start. Both are omitted for an un-paginated result, keeping its
+	// encoding unchanged.
+	Total  int           `json:"total,omitempty"`
+	Offset int           `json:"offset,omitempty"`
+	Points []resultPoint `json:"points"`
 }
 
-func (j *job) resultJSON() resultDoc {
+// resultJSON builds the structured result, windowed to points
+// [offset, offset+limit) when either is positive.
+func (j *job) resultJSON(offset, limit int) resultDoc {
 	ev := j.eval
 	doc := resultDoc{Space: j.spec.Space.Name, Search: j.spec.Search}
 	if j.search != nil {
@@ -167,7 +178,18 @@ func (j *job) resultJSON() resultDoc {
 		doc.Seed, doc.Budget = j.search.Seed, j.search.Budget
 	}
 	doc.Benches = ev.Benches
-	for _, p := range ev.Points {
+	points := ev.Points
+	if offset > 0 || limit > 0 {
+		total := len(points)
+		lo := min(max(offset, 0), total)
+		hi := total
+		if limit > 0 && lo+limit < total {
+			hi = lo + limit
+		}
+		points = points[lo:hi]
+		doc.Total, doc.Offset = total, lo
+	}
+	for _, p := range points {
 		doc.Points = append(doc.Points, resultPoint{
 			Label:      p.Point.Label,
 			Axes:       p.Point.Labels,

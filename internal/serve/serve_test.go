@@ -582,3 +582,108 @@ func TestWarmResubmission(t *testing.T) {
 	}
 	_ = js
 }
+
+// pagedEnv injects a synthetic done job with n evaluated points
+// directly into the server (white-box), so the pagination contract can
+// be pinned without running a sweep.
+func pagedEnv(t *testing.T, n int) (*testEnv, string) {
+	t.Helper()
+	e := newEnv(t, Options{})
+	sp, ok := dse.ByName("smoke")
+	if !ok {
+		t.Fatal("no smoke space")
+	}
+	ev := &dse.Evaluation{Space: sp, Benches: []string{"gemm"}}
+	for i := 0; i < n; i++ {
+		labels := make([]string, len(sp.Axes))
+		for j := range labels {
+			labels[j] = "v"
+		}
+		ev.Points = append(ev.Points, dse.PointResult{
+			Point: dse.Point{Index: i, Label: fmt.Sprintf("pt-%02d", i), Labels: labels},
+			Obj:   dse.Objectives{PenaltyPct: float64(i), EnergyUJ: 1, AreaMM2: 1},
+		})
+	}
+	j := newJob("job-paged", jobSpec{Space: sp, Search: "exhaustive"})
+	j.state = stateDone
+	j.eval = ev
+	e.srv.mu.Lock()
+	e.srv.jobs[j.id] = j
+	e.srv.mu.Unlock()
+	return e, j.id
+}
+
+// TestResultPagination pins ?offset=/?limit= on the result endpoint:
+// windows select the right rows, un-paginated output is unchanged, and
+// a fetched page always says what it omitted.
+func TestResultPagination(t *testing.T) {
+	e, id := pagedEnv(t, 7)
+
+	full, code := e.result(id, "csv")
+	if code != http.StatusOK {
+		t.Fatalf("full csv: status %d", code)
+	}
+	if got := strings.Count(full, "pt-"); got != 7 {
+		t.Fatalf("full csv has %d point rows, want 7", got)
+	}
+
+	page, code := e.result(id, "csv&offset=2&limit=3")
+	if code != http.StatusOK {
+		t.Fatalf("paged csv: status %d", code)
+	}
+	for _, want := range []string{"pt-02", "pt-03", "pt-04"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page misses %s:\n%s", want, page)
+		}
+	}
+	for _, not := range []string{"pt-01", "pt-05"} {
+		if strings.Contains(page, not) {
+			t.Errorf("page leaks %s outside [2,5):\n%s", not, page)
+		}
+	}
+
+	// The table format carries the omission note.
+	tbl, _ := e.result(id, "table&offset=0&limit=2")
+	if !strings.Contains(tbl, "showing rows 1-2 of") {
+		t.Errorf("paged table lacks the omission note:\n%s", tbl)
+	}
+
+	// Offset past the end: an empty page, not an error.
+	empty, code := e.result(id, "csv&offset=100")
+	if code != http.StatusOK || strings.Contains(empty, "pt-") {
+		t.Errorf("past-the-end page: status %d, body %q", code, empty)
+	}
+
+	// JSON pages slice the points array and report the pre-window total.
+	var doc resultDoc
+	raw, code := e.result(id, "json&offset=5&limit=5")
+	if code != http.StatusOK {
+		t.Fatalf("paged json: status %d", code)
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != 7 || doc.Offset != 5 || len(doc.Points) != 2 {
+		t.Errorf("json page: total %d offset %d points %d, want 7/5/2", doc.Total, doc.Offset, len(doc.Points))
+	}
+
+	// Un-paginated JSON omits the pagination fields entirely.
+	if raw, _ := e.result(id, "json"); strings.Contains(raw, `"total"`) || strings.Contains(raw, `"offset"`) {
+		t.Errorf("un-paginated json grew pagination fields: %s", raw)
+	}
+}
+
+// TestResultPaginationBounds pins the 400s: offset/limit must be
+// non-negative integers.
+func TestResultPaginationBounds(t *testing.T) {
+	e, id := pagedEnv(t, 3)
+	for _, q := range []string{"offset=-1", "limit=-3", "offset=abc", "limit=1.5", "offset=9999999999999999999999"} {
+		if _, code := e.result(id, "csv&"+q); code != http.StatusBadRequest {
+			t.Errorf("?%s: status %d, want 400", q, code)
+		}
+	}
+	// Zero values are explicit no-ops, not errors.
+	if _, code := e.result(id, "csv&offset=0&limit=0"); code != http.StatusOK {
+		t.Errorf("?offset=0&limit=0: status %d, want 200", code)
+	}
+}

@@ -61,12 +61,12 @@ type Server struct {
 	// near zero.
 	stitchPlain, stitchChecked *experiments.Suite
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order; lease dispatch is FIFO across it
-	leases   map[string]*lease
-	draining bool
-	nextJob  int
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order; lease dispatch is FIFO across it
+	leases    map[string]*lease
+	draining  bool
+	nextJob   int
 	nextLease int
 }
 
@@ -255,13 +255,13 @@ func (s *Server) statusLocked(j *job) JobStatus {
 		}
 	}
 	return JobStatus{
-		ID:     j.id,
-		State:  j.state,
-		Space:  j.spec.Space.Name,
-		Search: j.spec.Search,
-		Check:  j.spec.Check,
-		Shards: j.counts(),
-		Sims:   sims,
+		ID:       j.id,
+		State:    j.state,
+		Space:    j.spec.Space.Name,
+		Search:   j.spec.Search,
+		Check:    j.spec.Check,
+		Shards:   j.counts(),
+		Sims:     sims,
 		Requeues: j.requeues,
 		Error:    j.errMsg,
 	}
@@ -332,14 +332,38 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s is %s, not done", j.id, state)
 		return
 	}
+	offset, err := queryInt(r, "offset")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := queryInt(r, "limit")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	// The result fields are immutable once the state is done.
-	data, ctype, err := j.render(r.URL.Query().Get("format"))
+	data, ctype, err := j.render(r.URL.Query().Get("format"), offset, limit)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", ctype)
 	w.Write(data)
+}
+
+// queryInt parses an optional non-negative integer query parameter
+// (absent or empty means 0).
+func queryInt(r *http.Request, name string) (int, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer, got %q", name, q)
+	}
+	return n, nil
 }
 
 // handleEvents streams a job's progress: one JSON object per line by

@@ -77,7 +77,10 @@ func CanonicalKey(cfg Config) string {
 	check := cfg.Check
 	c := Canonical(cfg)
 	var b strings.Builder
-	b.Grow(192)
+	// Sized above the longest key the current axes can render (a
+	// defaults-resolved key is ~200 bytes): one undersized Grow here
+	// costs a second allocation per key on the store/memo hot paths.
+	b.Grow(288)
 	b.WriteString(c.DL1Cell.String())
 	b.WriteString("|fe=")
 	b.WriteString(c.FrontEnd.String())

@@ -379,9 +379,15 @@ func (s *System) runOnce(ck *compile.Compiled) (*RunResult, error) {
 	if err := s.CheckErr(); err != nil {
 		return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
 	}
+	return s.assemble(ck.Prog.Name, res), nil
+}
+
+// assemble snapshots the system's hierarchy counters into a RunResult
+// around a finished measured pass.
+func (s *System) assemble(bench string, res *cpu.Result) *RunResult {
 	return &RunResult{
 		Config:                s.Cfg,
-		Bench:                 ck.Prog.Name,
+		Bench:                 bench,
 		CPU:                   res,
 		FEStats:               s.FE.Stats(),
 		DL1Stats:              s.DL1.Stats(),
@@ -391,7 +397,7 @@ func (s *System) runOnce(ck *compile.Compiled) (*RunResult, error) {
 		DL1SRAMReads:          s.DL1.SRAMReads,
 		DL1SRAMWrites:         s.DL1.SRAMWrites,
 		DL1WayOffCycles:       s.DL1.OffCyclesAt(res.Cycles),
-	}, nil
+	}
 }
 
 // CaptureTrace functionally executes a compiled kernel once (no timing)
@@ -468,19 +474,58 @@ func (s *System) replayOnceCtl(ck *compile.Compiled, tr *cpu.Trace, ctl *ReplayC
 	if err := s.CheckErr(); err != nil {
 		return nil, false, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
 	}
-	return &RunResult{
-		Config:                s.Cfg,
-		Bench:                 ck.Prog.Name,
-		CPU:                   res,
-		FEStats:               s.FE.Stats(),
-		DL1Stats:              s.DL1.Stats(),
-		L2Stats:               s.L2.Stats(),
-		IL1Stats:              s.IL1.Stats(),
-		DL1BankConflictCycles: s.DL1.BankConflictCycles,
-		DL1SRAMReads:          s.DL1.SRAMReads,
-		DL1SRAMWrites:         s.DL1.SRAMWrites,
-		DL1WayOffCycles:       s.DL1.OffCyclesAt(res.Cycles),
-	}, aborted, nil
+	return s.assemble(ck.Prog.Name, res), aborted, nil
+}
+
+// ReplayGang is ReplayCompiled for a batch of systems in one trace walk
+// (cpu.ReplayTraceGang): the warm-up pass runs ganged over the members
+// that warm up (ColdStart members skip it, exactly as in their serial
+// replay), timing is reset, and the measured pass runs ganged over the
+// whole batch. Every member's RunResult is byte-identical to its own
+// ReplayCompiled of the same ck/tr — all systems must therefore have
+// been assembled for configurations sharing CompileOptions, so ck and
+// tr are valid for each. interrupt/intrEvery are ReplayCtl.Interrupt
+// semantics applied to the shared walk; there is no per-member
+// truncation or abort (callers needing those replay serially).
+func ReplayGang(systems []*System, ck *compile.Compiled, tr *cpu.Trace, interrupt func() error, intrEvery int) ([]*RunResult, error) {
+	if len(systems) == 0 {
+		return nil, nil
+	}
+	var warm []*System
+	var warmCPUs []*cpu.CPU
+	for _, s := range systems {
+		if !s.Cfg.ColdStart {
+			warm = append(warm, s)
+			warmCPUs = append(warmCPUs, s.CPU)
+		}
+	}
+	if len(warm) > 0 {
+		if _, err := cpu.ReplayTraceGang(ck.Prog, tr, warmCPUs, interrupt, intrEvery); err != nil {
+			return nil, fmt.Errorf("sim: gang warm-up of %s: %w", ck.Prog.Name, err)
+		}
+		for _, s := range warm {
+			if err := s.CheckErr(); err != nil {
+				return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+			}
+			s.ResetTiming()
+		}
+	}
+	cpus := make([]*cpu.CPU, len(systems))
+	for i, s := range systems {
+		cpus[i] = s.CPU
+	}
+	rs, err := cpu.ReplayTraceGang(ck.Prog, tr, cpus, interrupt, intrEvery)
+	if err != nil {
+		return nil, fmt.Errorf("sim: gang replay of %s: %w", ck.Prog.Name, err)
+	}
+	out := make([]*RunResult, len(systems))
+	for i, s := range systems {
+		if err := s.CheckErr(); err != nil {
+			return nil, fmt.Errorf("sim: %s on %s: %w", ck.Prog.Name, s.Cfg.Name, err)
+		}
+		out[i] = s.assemble(ck.Prog.Name, rs[i])
+	}
+	return out, nil
 }
 
 // CompileOptions is the configuration's compile options with the

@@ -167,6 +167,39 @@ func (t Table) Head(n int) Table {
 	return out
 }
 
+// Window returns a copy of t keeping rows [offset, offset+limit)
+// (columns and notes intact). offset <= 0 starts at the first row;
+// limit <= 0 keeps everything from offset on; an offset past the end
+// yields an empty row set. Like Head, a window that actually drops
+// rows records a note, so a page is never mistaken for the whole
+// table — and a no-op window returns t unchanged, preserving the
+// byte-identity contract of un-paginated output.
+func (t Table) Window(offset, limit int) Table {
+	total := len(t.Rows)
+	lo := offset
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > total {
+		lo = total
+	}
+	hi := total
+	if limit > 0 && lo+limit < total {
+		hi = lo + limit
+	}
+	if lo == 0 && hi == total {
+		return t
+	}
+	out := t
+	out.Rows = t.Rows[lo:hi]
+	note := fmt.Sprintf("showing rows %d-%d of %d", lo+1, hi, total)
+	if lo >= hi {
+		note = fmt.Sprintf("showing 0 of %d rows", total)
+	}
+	out.Notes = append(append([]string{}, t.Notes...), note)
+	return out
+}
+
 // Render draws the table with aligned columns.
 func (t Table) Render() string {
 	var b strings.Builder

@@ -25,10 +25,10 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync/atomic"
 
 	"sttdl1/internal/sim"
@@ -56,22 +56,27 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // Fields are length-delimited before hashing so no two distinct field
 // tuples can collide by concatenation.
 func KeyFor(benchKey string, traceDigest [sha256.Size]byte, cfgKey, modelKey string) Key {
-	h := sha256.New()
-	writeField := func(s string) {
+	// The preimage is assembled in one buffer and hashed with Sum256:
+	// byte-for-byte the same stream the previous incremental-hash
+	// version fed sha256.New, without the hash-state and per-field
+	// conversion allocations (this runs once per store probe).
+	buf := make([]byte, 0, 4*8+len(keyVersion)+len(benchKey)+len(traceDigest)+len(cfgKey)+len(modelKey))
+	field := func(s string) {
 		var n [8]byte
 		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
-		h.Write(n[:])
-		io.WriteString(h, s)
+		buf = append(buf, n[:]...)
+		buf = append(buf, s...)
 	}
-	writeField(fmt.Sprintf("sttstore/v%d", SchemaVersion))
-	writeField(benchKey)
-	h.Write(traceDigest[:])
-	writeField(cfgKey)
-	writeField(modelKey)
-	var k Key
-	h.Sum(k[:0])
-	return k
+	field(keyVersion)
+	field(benchKey)
+	buf = append(buf, traceDigest[:]...)
+	field(cfgKey)
+	field(modelKey)
+	return Key(sha256.Sum256(buf))
 }
+
+// keyVersion is the schema field of every key preimage, rendered once.
+var keyVersion = "sttstore/v" + strconv.Itoa(SchemaVersion)
 
 // Stats is a snapshot of the store's counters since Open.
 type Stats struct {
@@ -131,8 +136,19 @@ func (s *Store) Stats() Stats {
 // keep any single directory's entry count filesystem-friendly for
 // six-figure sweeps.
 func (s *Store) path(k Key) string {
-	name := k.String()
-	return filepath.Join(s.dir, name[:2], name[2:]+".rec")
+	// Built in one buffer rather than k.String() + slicing +
+	// filepath.Join: this runs once per store probe on the warm sweep
+	// path, and the Join route costs four intermediate strings.
+	var name [2 * len(k)]byte
+	hex.Encode(name[:], k[:])
+	b := make([]byte, 0, len(s.dir)+len(name)+len("//.rec"))
+	b = append(b, s.dir...)
+	b = append(b, os.PathSeparator)
+	b = append(b, name[:2]...)
+	b = append(b, os.PathSeparator)
+	b = append(b, name[2:]...)
+	b = append(b, ".rec"...)
+	return string(b)
 }
 
 // Get returns the record stored under k, or (nil, false) on a miss. A

@@ -71,6 +71,12 @@ wait "$serve_pid"
 gobench=$(go test -run '^$' -bench '^BenchmarkStoreSweep$' -benchtime "$benchtime" -benchmem .)
 printf '%s\n' "$gobench"
 
+# Replay engine (DESIGN.md §7.9): the cold smoke sweep with gang replay
+# on (auto width) vs off (serial). Both arms are byte-identical
+# evaluations; the serial/gang ns/op ratio is the gang speedup.
+replaybench=$(go test -run '^$' -bench '^BenchmarkReplaySweep$' -benchtime "$benchtime" -benchmem .)
+printf '%s\n' "$replaybench"
+
 # Benchmark lines: name N ns/op "ns/op" B/op "B/op" allocs/op "allocs/op".
 field() { printf '%s\n' "$gobench" | awk -v pat="$1" -v f="$2" '$0 ~ pat { print $f; exit }'; }
 cold_ns=$(field 'BenchmarkStoreSweep/cold' 3)
@@ -80,12 +86,22 @@ warm_ns=$(field 'BenchmarkStoreSweep/warm' 3)
 warm_bytes=$(field 'BenchmarkStoreSweep/warm' 5)
 warm_allocs=$(field 'BenchmarkStoreSweep/warm' 7)
 
+rfield() { printf '%s\n' "$replaybench" | awk -v pat="$1" -v f="$2" '$0 ~ pat { print $f; exit }'; }
+gang_ns=$(rfield 'BenchmarkReplaySweep/gang' 3)
+gang_bytes=$(rfield 'BenchmarkReplaySweep/gang' 5)
+gang_allocs=$(rfield 'BenchmarkReplaySweep/gang' 7)
+serial_ns=$(rfield 'BenchmarkReplaySweep/serial' 3)
+serial_bytes=$(rfield 'BenchmarkReplaySweep/serial' 5)
+serial_allocs=$(rfield 'BenchmarkReplaySweep/serial' 7)
+
 awk -v space="$space" \
 	-v cold_ms="$cold_ms" -v warm_ms="$warm_ms" \
 	-v scold_ms="$serve_cold_ms" -v swarm_ms="$serve_warm_ms" \
 	-v wjobs="$warm_jobs" -v wtotal_ms="$warm_total_ms" \
 	-v cns="$cold_ns" -v cb="$cold_bytes" -v ca="$cold_allocs" \
 	-v wns="$warm_ns" -v wb="$warm_bytes" -v wa="$warm_allocs" \
+	-v gns="$gang_ns" -v gb="$gang_bytes" -v ga="$gang_allocs" \
+	-v sns="$serial_ns" -v sb="$serial_bytes" -v sa="$serial_allocs" \
 	'BEGIN {
 		printf "{\n"
 		printf "  \"space\": \"%s\",\n", space
@@ -104,6 +120,11 @@ awk -v space="$space" \
 		printf "  \"gobench\": {\n"
 		printf "    \"cold\": { \"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d },\n", cns, cb, ca
 		printf "    \"warm\": { \"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d }\n", wns, wb, wa
+		printf "  },\n"
+		printf "  \"replay\": {\n"
+		printf "    \"gang\": { \"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d },\n", gns, gb, ga
+		printf "    \"serial\": { \"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d },\n", sns, sb, sa
+		printf "    \"gang_speedup\": %.2f\n", sns / (gns > 0 ? gns : 1)
 		printf "  }\n"
 		printf "}\n"
 	}' >"$out"

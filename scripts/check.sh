@@ -49,6 +49,23 @@ cmp "$tmp_on" "$tmp_off"
 go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv -store "$store_dir" >"$tmp_off"
 cmp "$tmp_on" "$tmp_off"
 
+# Specialized replay kernels and gang replay (DESIGN.md §7.9): the
+# same sweep must render byte-identically with the specialized kernel
+# registry (the default), with every replay pinned to the generic
+# reference kernel, and with gang replay off — and the specialized/
+# generic diff must also hold under the race detector (gang replay
+# shares one trace walk across configurations; the detector proves the
+# members' states stay disjoint while cmp proves the cycles do).
+go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv >"$tmp_on"
+STTDL1_REPLAY_KERNEL=generic go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
+go run ./cmd/sttexplore dse -space smoke -bench atax,gemver -gang 1 -csv >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
+go run -race ./cmd/sttexplore dse -space smoke -bench atax,gemver -csv >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
+STTDL1_REPLAY_KERNEL=generic go run -race ./cmd/sttexplore dse -space smoke -bench atax,gemver -gang 1 -csv >"$tmp_off"
+cmp "$tmp_on" "$tmp_off"
+
 # Sweep service equivalence (DESIGN.md §7.8): the same smoke sweep
 # submitted to a two-worker `serve` instance on an ephemeral port must
 # come back byte-identical to the single-process dse run above, and the
